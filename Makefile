@@ -1,0 +1,33 @@
+# Convenience targets; see README.md for details.
+
+.PHONY: install test bench charts examples report csv all clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+charts:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+report:
+	python -m repro report --events 60000 --out results/report.md
+
+csv:
+	python scripts/export_csv.py
+
+all: test bench examples
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

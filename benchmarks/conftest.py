@@ -1,0 +1,58 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper figure has one benchmark module.  Each bench:
+
+* regenerates the figure's data at ``FAST_EVENTS`` (shape-preserving,
+  benchmark-friendly trace length);
+* prints the ASCII chart and the data table so ``pytest benchmarks/
+  --benchmark-only -s`` reproduces the figure in the terminal;
+* records headline values in ``benchmark.extra_info`` so the JSON
+  output archives them;
+* asserts the paper's qualitative shape so a regression that breaks a
+  result fails the harness, not just changes a number.
+
+Figure benches run a single round (the work is deterministic replay;
+statistical timing repetition would only burn time), while the
+microbenchmarks in test_bench_micro.py use normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_chart import render_figure
+from repro.analysis.export import figure_to_markdown
+
+#: Trace length for figure benches (see repro.experiments.common).
+FAST_EVENTS = 20_000
+
+
+def run_figure_bench(benchmark, builder, shape_check=None, **extra_info):
+    """Drive one figure reproduction under pytest-benchmark.
+
+    ``builder`` is a zero-argument callable returning a FigureData;
+    ``shape_check`` (optional) receives the figure and raises on shape
+    regressions.  The figure is rendered to stdout and key info stored
+    on the benchmark record.
+    """
+    figure = benchmark.pedantic(builder, rounds=1, iterations=1)
+    print()
+    print(render_figure(figure))
+    print()
+    print(figure_to_markdown(figure))
+    benchmark.extra_info["figure_id"] = figure.figure_id
+    for key, value in extra_info.items():
+        benchmark.extra_info[key] = value
+    if shape_check is not None:
+        shape_check(figure)
+    return figure
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _prewarm_workloads():
+    """Materialize the benchmark workloads once, outside timed regions."""
+    from repro.experiments.common import workload_sequence
+
+    for name in ("workstation", "users", "write", "server"):
+        workload_sequence(name, FAST_EVENTS)
+    yield

@@ -1,0 +1,363 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation isolates one decision the paper makes and measures the
+alternative inside the *full* aggregating cache (not just the isolated
+metadata metric of Figure 5):
+
+* recency vs frequency successor-list management;
+* group-member insertion position (tail vs MRU head);
+* group size beyond the published range (saturation claim);
+* grouping vs explicit prefetching baselines (last-successor,
+  probability-graph) at equal placement discipline;
+* the aggregating server cache vs MQ/ARC — the strongest contemporary
+  non-predictive second-level policies.
+"""
+
+import pytest
+
+from repro.analysis.timescale import policy_ordering_holds
+from repro.caching.arc import ARCCache
+from repro.caching.lru import LRUCache
+from repro.caching.mq import MQCache
+from repro.caching.multilevel import TwoLevelHierarchy
+from repro.caching.lirs import LIRSCache
+from repro.caching.slru import SLRUCache
+from repro.caching.twoq import TwoQCache
+from repro.core.aggregating_cache import AggregatingClientCache, AggregatingServerCache
+from repro.core.context import PPMPredictor
+from repro.core.predictors import (
+    LastSuccessorPredictor,
+    PrefetchingCache,
+    ProbabilityGraphPredictor,
+)
+from repro.experiments.common import workload_sequence
+
+from conftest import FAST_EVENTS
+
+CAPACITY = 300
+
+
+@pytest.fixture(scope="module")
+def server_sequence():
+    return workload_sequence("server", FAST_EVENTS)
+
+
+@pytest.fixture(scope="module")
+def workstation_sequence():
+    return workload_sequence("workstation", FAST_EVENTS)
+
+
+def test_recency_vs_frequency_in_full_cache(benchmark, workstation_sequence):
+    """Ablation: successor-list policy inside the aggregating cache.
+
+    The paper chooses LRU lists (Section 4.4); this measures the
+    end-to-end fetch cost of choosing LFU instead.
+    """
+
+    def run():
+        results = {}
+        for policy in ("lru", "lfu"):
+            cache = AggregatingClientCache(
+                capacity=CAPACITY, group_size=5, successor_policy=policy
+            )
+            cache.replay(workstation_sequence)
+            results[policy] = cache.demand_fetches
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndemand fetches by successor policy: {results}")
+    benchmark.extra_info.update(results)
+    # Recency must not lose end-to-end (ties acceptable within 3%).
+    assert results["lru"] <= results["lfu"] * 1.03
+
+
+def test_insertion_position(benchmark, server_sequence):
+    """Ablation: where group companions enter the client's LRU list.
+
+    The paper appends companions at the tail and reports that exact
+    placement "has little effect if the cache is several times the
+    group size" — measured here by comparing tail placement against
+    MRU-head placement (via install(), which admits at the head).
+    """
+
+    class HeadPlacementCache(AggregatingClientCache):
+        def access(self, file_id):
+            self.tracker.observe(file_id)
+            if self._cache.access(file_id):
+                return True
+            group = self.builder.build(file_id)
+            self.fetch_log.group_fetches += 1
+            for companion in group.predicted:
+                self._cache.install(companion)  # MRU-side admission
+            return False
+
+    def run():
+        tail = AggregatingClientCache(capacity=CAPACITY, group_size=5)
+        tail.replay(server_sequence)
+        head = HeadPlacementCache(capacity=CAPACITY, group_size=5)
+        head.replay(server_sequence)
+        return {"tail": tail.demand_fetches, "head": head.demand_fetches}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndemand fetches by insertion position: {results}")
+    benchmark.extra_info.update(results)
+    # Cache (300) >> group (5): placement should matter little (<12%).
+    assert abs(results["tail"] - results["head"]) < 0.12 * results["tail"]
+
+
+def test_group_size_saturation(benchmark, server_sequence):
+    """Ablation: group sizes beyond the published g=10.
+
+    The paper claims gains saturate near g=5 with "no deterioration"
+    for larger groups; this extends the sweep to g=20.
+    """
+
+    def run():
+        fetches = {}
+        for group_size in (1, 5, 10, 15, 20):
+            cache = AggregatingClientCache(capacity=CAPACITY, group_size=group_size)
+            cache.replay(server_sequence)
+            fetches[group_size] = cache.demand_fetches
+        return fetches
+
+    fetches = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndemand fetches by group size: {fetches}")
+    benchmark.extra_info.update({f"g{k}": v for k, v in fetches.items()})
+    assert fetches[5] < fetches[1]
+    # No deterioration beyond the saturation point (4% jitter floor).
+    assert fetches[20] <= fetches[5] * 1.04
+    # Saturation: g5 captures most of what g20 captures.
+    assert (fetches[5] - fetches[20]) < 0.5 * (fetches[1] - fetches[5])
+
+
+def test_grouping_vs_explicit_prefetchers(benchmark, server_sequence):
+    """Baseline: related-work prefetchers at equal placement discipline.
+
+    The aggregating cache should at least match single-successor
+    prefetching (it chains 4 predictions per miss) while issuing no
+    separate prefetch requests.
+    """
+
+    def run():
+        grouped = AggregatingClientCache(capacity=CAPACITY, group_size=5)
+        grouped.replay(server_sequence)
+        last = PrefetchingCache(
+            CAPACITY, LastSuccessorPredictor(), prefetch_count=4
+        )
+        last.replay(server_sequence)
+        graph = PrefetchingCache(
+            CAPACITY, ProbabilityGraphPredictor(lookahead=4, min_chance=0.1),
+            prefetch_count=4,
+        )
+        graph.replay(server_sequence)
+        ppm = PrefetchingCache(
+            CAPACITY, PPMPredictor(max_order=2), prefetch_count=4
+        )
+        ppm.replay(server_sequence)
+        return {
+            "aggregating_fetches": grouped.demand_fetches,
+            "aggregating_extra_requests": 0,
+            "last_successor_fetches": last.demand_fetches,
+            "last_successor_prefetches": last.prefetches,
+            "prob_graph_fetches": graph.demand_fetches,
+            "prob_graph_prefetches": graph.prefetches,
+            "ppm_fetches": ppm.demand_fetches,
+            "ppm_prefetches": ppm.prefetches,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ngrouping vs explicit prefetching:")
+    for key, value in results.items():
+        print(f"  {key}: {value}")
+    benchmark.extra_info.update(results)
+    lru_baseline = AggregatingClientCache(capacity=CAPACITY, group_size=1)
+    lru_baseline.replay(server_sequence)
+    # Everyone must beat plain LRU; grouping must be competitive with
+    # the best prefetcher while issuing zero extra requests.
+    assert results["aggregating_fetches"] < lru_baseline.demand_fetches
+    assert results["last_successor_fetches"] < lru_baseline.demand_fetches
+    best_prefetcher = min(
+        results["last_successor_fetches"], results["prob_graph_fetches"]
+    )
+    assert results["aggregating_fetches"] <= best_prefetcher * 1.15
+
+
+def test_aggregating_server_vs_mq_and_arc(benchmark, workstation_sequence):
+    """Extension: the strongest non-predictive second-level policies.
+
+    Zhou et al.'s MQ (cited by the paper) and ARC are the classic
+    answers to filtered second-level streams; the aggregating cache's
+    advantage is that it exploits *inter-file* structure they cannot
+    see.
+    """
+
+    def run():
+        results = {}
+        for label, server in (
+            ("g5", AggregatingServerCache(capacity=CAPACITY, group_size=5)),
+            ("lru", LRUCache(CAPACITY)),
+            ("mq", MQCache(CAPACITY)),
+            ("arc", ARCCache(CAPACITY)),
+            ("2q", TwoQCache(CAPACITY)),
+            ("slru", SLRUCache(CAPACITY)),
+            ("lirs", LIRSCache(CAPACITY)),
+        ):
+            stack = TwoLevelHierarchy(LRUCache(400), server)
+            outcome = stack.replay(workstation_sequence)
+            results[label] = round(100 * outcome.server_hit_rate, 2)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nserver hit rate (%) behind a 400-file client cache: {results}")
+    benchmark.extra_info.update(results)
+    for rival in ("lru", "mq", "arc", "2q", "slru", "lirs"):
+        assert results["g5"] > results[rival], rival
+
+
+def test_recency_claim_across_timescales(benchmark, workstation_sequence):
+    """Validation discipline: the Figure 5 claim checked per trace round.
+
+    The paper: "we validate our tests by running them at multiple time
+    scales."  The recency-beats-frequency ordering must hold on the
+    whole trace and within each quarter.
+    """
+
+    def run():
+        return policy_ordering_holds(
+            workstation_sequence, rounds=4, capacity=3, tolerance=0.01
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    whole_lru, whole_lfu = result["whole_trace"]
+    print(
+        f"\nLRU vs LFU miss probability (capacity 3): whole trace "
+        f"{whole_lru:.4f} vs {whole_lfu:.4f}; per round: "
+        + "; ".join(f"{lru:.4f}/{lfu:.4f}" for lru, lfu in result["per_round"])
+    )
+    benchmark.extra_info["holds"] = result["holds_at_every_timescale"]
+    assert result["holds_at_every_timescale"]
+
+
+def test_latency_cost_model(benchmark, server_sequence):
+    """Extension: price the fetch counts into access latency.
+
+    One group request costs one round trip plus g transfers; g demand
+    fetches cost g round trips plus g transfers.  Grouping must come
+    out faster end-to-end even after paying for wasted prefetches.
+    """
+    from repro.sim.costs import price_replay
+
+    def run():
+        return price_replay(server_sequence, capacity=CAPACITY, group_size=5)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\npriced comparison (mean latency per access):")
+    for label, metrics in comparison.items():
+        print(f"  {label}: {metrics['mean_latency']:.4f} "
+              f"(requests={metrics['requests']}, "
+              f"files={metrics['files_shipped']})")
+    speedup = comparison.speedup("lru", "g5")
+    accuracy = comparison["g5"]["prefetch_accuracy"]
+    print(f"  speedup {speedup:.3f}x, prefetch accuracy {accuracy:.1%}")
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["prefetch_accuracy"] = round(accuracy, 3)
+    assert speedup > 1.0
+    assert accuracy > 0.5
+
+
+def test_adaptive_vs_fixed_group_size(benchmark, server_sequence):
+    """Ablation: confidence-adaptive group sizing (Section 6).
+
+    The adaptive builder chains deeper on stable runs and stops at
+    unpredictable files.  It must achieve fixed-g5-level fetch counts
+    while shipping no more files per useful fetch (bandwidth
+    discipline).
+    """
+    from repro.core.grouping import AdaptiveGroupBuilder
+
+    def run():
+        fixed = AggregatingClientCache(capacity=CAPACITY, group_size=5)
+        fixed.replay(server_sequence)
+        adaptive = AggregatingClientCache(capacity=CAPACITY, group_size=10)
+        adaptive.builder = AdaptiveGroupBuilder(
+            adaptive.tracker, max_size=10, min_size=2, degree_threshold=2
+        )
+        adaptive.replay(server_sequence)
+        return {
+            "fixed_g5_fetches": fixed.demand_fetches,
+            "fixed_g5_shipped": fixed.fetch_log.files_retrieved,
+            "adaptive_fetches": adaptive.demand_fetches,
+            "adaptive_shipped": adaptive.fetch_log.files_retrieved,
+            "adaptive_mean_group": round(adaptive.fetch_log.mean_group_size, 2),
+            "fixed_mean_group": round(fixed.fetch_log.mean_group_size, 2),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nadaptive vs fixed grouping: {results}")
+    benchmark.extra_info.update(results)
+    lru = AggregatingClientCache(capacity=CAPACITY, group_size=1)
+    lru.replay(server_sequence)
+    assert results["adaptive_fetches"] < lru.demand_fetches
+    # Within 15% of fixed g5's fetch count.
+    assert results["adaptive_fetches"] <= results["fixed_g5_fetches"] * 1.15
+
+
+def test_hybrid_successor_policy(benchmark, workstation_sequence):
+    """Extension: the paper's closing conjecture, tested.
+
+    "The ideal likelihood estimate may well be based on a combination
+    of recency and frequency" — the decayed-frequency hybrid list is
+    that combination.  It must match or beat both pure policies at the
+    capacities where they differ.
+    """
+    from repro.core.successors import evaluate_successor_misses
+
+    def run():
+        results = {}
+        for policy in ("lru", "lfu", "hybrid"):
+            results[policy] = {
+                capacity: round(
+                    evaluate_successor_misses(
+                        workstation_sequence, policy, capacity
+                    ).miss_probability,
+                    4,
+                )
+                for capacity in (2, 4, 8)
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nsuccessor-list miss probability by policy:")
+    for policy, by_capacity in results.items():
+        print(f"  {policy}: {by_capacity}")
+    benchmark.extra_info["hybrid_at_2"] = results["hybrid"][2]
+    benchmark.extra_info["lru_at_2"] = results["lru"][2]
+    for capacity in (2, 4):
+        hybrid = results["hybrid"][capacity]
+        assert hybrid <= results["lru"][capacity] + 0.003
+        assert hybrid <= results["lfu"][capacity] + 0.003
+
+
+def test_metadata_budget(benchmark, server_sequence):
+    """Ablation: how much successor-list state do the results need?
+
+    Sharpened finding: for cache performance, a single-entry recency
+    list already delivers the full grouping benefit — deeper lists only
+    improve the Figure 5 retention metric.  The bench asserts the
+    flatness and archives the state costs.
+    """
+    from repro.experiments import run_metadata_budget
+
+    def run():
+        return run_metadata_budget(workload="server", events=FAST_EVENTS)
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    fetches = figure.get_series("demand-fetches")
+    entries = figure.get_series("metadata-entries")
+    print("\nsuccessor capacity -> (fetches, metadata entries):")
+    for x in figure.x_values():
+        print(f"  {int(x):2d} -> ({int(fetches.y_at(x))}, {int(entries.y_at(x))})")
+    benchmark.extra_info["fetches_at_cap1"] = int(fetches.y_at(1))
+    benchmark.extra_info["fetches_at_cap8"] = int(fetches.y_at(8))
+    assert fetches.y_at(1) <= fetches.y_at(8) * 1.02
+    assert entries.y_at(8) > entries.y_at(1)

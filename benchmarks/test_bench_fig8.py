@@ -1,0 +1,45 @@
+"""Benchmark: Figure 8 — successor entropy of LRU-filtered miss streams.
+
+Regenerates both published panels (write, users).  Shape asserts:
+entropy still rises with sequence length behind every filter; large
+filters (>= 50) make the miss stream progressively more predictable;
+the size-10 filter sits well above the large filters (the paper's
+"less predictable" small-cache regime).
+"""
+
+import pytest
+
+from repro.experiments import run_fig8
+
+from conftest import FAST_EVENTS, run_figure_bench
+
+
+def _check_filter_ordering(figure):
+    for series in figure.series:
+        assert series.y_at(1) < series.y_at(2)
+        ys = series.ys()
+        for left, right in zip(ys, ys[1:]):
+            assert right >= left - 0.02, series.label
+    for x in (1.0, 4.0):
+        assert (
+            figure.get_series("50").y_at(x)
+            > figure.get_series("100").y_at(x)
+            > figure.get_series("500").y_at(x)
+            > figure.get_series("1000").y_at(x)
+        )
+        assert figure.get_series("10").y_at(x) > figure.get_series("500").y_at(x)
+
+
+@pytest.mark.parametrize("workload", ["write", "users"])
+def test_fig8_filtered_entropy(benchmark, workload):
+    figure = run_figure_bench(
+        benchmark,
+        lambda: run_fig8(workload=workload, events=FAST_EVENTS),
+        shape_check=_check_filter_ordering,
+        workload=workload,
+        events=FAST_EVENTS,
+    )
+    benchmark.extra_info["H1_filter10"] = round(figure.get_series("10").y_at(1), 3)
+    benchmark.extra_info["H1_filter1000"] = round(
+        figure.get_series("1000").y_at(1), 3
+    )

@@ -1,0 +1,43 @@
+"""Benchmark: the paper's headline claims (abstract / Section 6).
+
+Recomputes every summary number the paper leads with and prints the
+paper-vs-measured table.  Shape asserts keep the claims' direction:
+substantial client fetch cuts that do not deteriorate at g10, and
+server-side improvements that explode once the filter reaches the
+server capacity.
+"""
+
+from repro.analysis.export import rows_to_markdown
+from repro.experiments import run_headline
+
+from conftest import FAST_EVENTS
+
+
+def test_headline_claims(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_headline(events=FAST_EVENTS, client_capacity=200),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(rows_to_markdown(report.to_rows()))
+    benchmark.extra_info["client_reduction_g5"] = round(
+        report.client_reduction_g5, 4
+    )
+    benchmark.extra_info["client_reduction_g10"] = round(
+        report.client_reduction_g10, 4
+    )
+    benchmark.extra_info["server_improvement_max"] = round(
+        max(report.server_small_filter_improvements), 2
+    )
+
+    # Client side: meaningful cut at g5, no deterioration at g10.
+    assert report.client_reduction_g5 > 0.35
+    assert report.client_reduction_g10 >= report.client_reduction_g5 - 0.02
+    assert report.client_reduction_g2 > 0.20
+    # Server side: improvements start at +20% and reach multiples of
+    # the LRU baseline (the paper's 20-1200% band).
+    assert max(report.server_small_filter_improvements) > 0.20
+    assert all(rate >= 0.0 for rate in report.server_large_filter_g5_rates)
+    assert max(report.server_large_filter_g5_rates) > 10.0
+    assert max(report.server_large_filter_lru_rates) < 10.0

@@ -1,0 +1,141 @@
+"""Microbenchmarks: throughput of the core data structures.
+
+Unlike the figure benches (single-round replays), these use normal
+pytest-benchmark timing so regressions in the hot paths — cache access,
+successor tracking, group construction, entropy computation — show up
+as ops/sec changes.
+"""
+
+import random
+
+import pytest
+
+from repro.caching.lfu import LFUCache
+from repro.caching.lru import LRUCache
+from repro.core.aggregating_cache import AggregatingClientCache
+from repro.core.entropy import successor_entropy
+from repro.core.grouping import GroupBuilder
+from repro.core.successors import SuccessorTracker
+
+_RNG = random.Random(99)
+KEYS = [f"f{_RNG.randrange(500)}" for _ in range(10_000)]
+
+
+def test_lru_access_throughput(benchmark):
+    cache = LRUCache(250)
+
+    def run():
+        for key in KEYS:
+            cache.access(key)
+
+    benchmark(run)
+    benchmark.extra_info["keys_per_round"] = len(KEYS)
+
+
+def test_lfu_access_throughput(benchmark):
+    cache = LFUCache(250)
+
+    def run():
+        for key in KEYS:
+            cache.access(key)
+
+    benchmark(run)
+
+
+def test_successor_tracker_throughput(benchmark):
+    def run():
+        tracker = SuccessorTracker(policy="lru", capacity=8)
+        tracker.observe_sequence(KEYS)
+        return tracker
+
+    benchmark(run)
+
+
+def test_group_build_throughput(benchmark):
+    tracker = SuccessorTracker(policy="lru", capacity=8)
+    tracker.observe_sequence(KEYS)
+    builder = GroupBuilder(tracker, 5)
+    seeds = KEYS[:1000]
+
+    def run():
+        for seed in seeds:
+            builder.build(seed)
+
+    benchmark(run)
+    benchmark.extra_info["groups_per_round"] = len(seeds)
+
+
+def test_aggregating_cache_throughput(benchmark):
+    def run():
+        cache = AggregatingClientCache(capacity=250, group_size=5)
+        cache.replay(KEYS)
+        return cache.demand_fetches
+
+    benchmark(run)
+
+
+def test_successor_entropy_throughput(benchmark):
+    benchmark(lambda: successor_entropy(KEYS, 1))
+
+
+def test_successor_entropy_long_symbols(benchmark):
+    benchmark(lambda: successor_entropy(KEYS, 8))
+
+
+def test_ppm_update_throughput(benchmark):
+    from repro.core.context import PPMPredictor
+
+    def run():
+        predictor = PPMPredictor(max_order=2, max_contexts=2000)
+        for key in KEYS:
+            predictor.update(key)
+        return predictor
+
+    benchmark(run)
+
+
+def test_lirs_access_throughput(benchmark):
+    from repro.caching.lirs import LIRSCache
+
+    cache = LIRSCache(250)
+
+    def run():
+        for key in KEYS:
+            cache.access(key)
+
+    benchmark(run)
+
+
+def test_relationship_graph_build_throughput(benchmark):
+    from repro.core.graph import RelationshipGraph
+
+    benchmark(lambda: RelationshipGraph.from_sequence(KEYS))
+
+
+def test_trace_roundtrip_throughput(benchmark):
+    import io
+
+    from repro.traces.events import Trace
+    from repro.traces.reader import read_trace
+    from repro.traces.writer import write_trace
+
+    trace = Trace.from_file_ids(KEYS)
+
+    def run():
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        return read_trace(io.StringIO(buffer.getvalue()))
+
+    benchmark(run)
+
+
+def test_stack_distance_throughput(benchmark):
+    from repro.caching.stack_distance import miss_curve
+
+    capacities = [50, 100, 200, 400, 800]
+
+    def run():
+        return miss_curve(KEYS, capacities)
+
+    curve = benchmark(run)
+    benchmark.extra_info["capacities"] = len(capacities)

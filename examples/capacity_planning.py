@@ -1,0 +1,71 @@
+"""Capacity planning with the latency cost model.
+
+A deployment question the paper's counting metrics cannot answer alone:
+*given a latency budget, how much client cache does grouping save?*
+This example prices plain LRU against the aggregating cache across
+client cache sizes and reports the capacity at which each configuration
+meets a mean-latency target — grouping typically meets it with a
+fraction of the memory.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import make_server
+from repro.analysis import FigureData, figure_to_markdown, render_figure
+from repro.sim.costs import CostModel, price_replay
+
+EVENTS = 30_000
+CAPACITIES = (50, 100, 200, 300, 450, 600)
+TARGET_MEAN_LATENCY = 0.45  # time units per access
+MODEL = CostModel(hit_time=0.05, request_latency=2.0, transfer_time=1.0)
+
+
+def main():
+    sequence = make_server(events=EVENTS).file_ids()
+    figure = FigureData(
+        figure_id="capacity-planning",
+        title="Mean access latency vs client cache capacity (server)",
+        xlabel="Client cache capacity (files)",
+        ylabel="Mean latency (time units)",
+        notes=(
+            f"{EVENTS} opens; request RTT {MODEL.request_latency}, "
+            f"transfer {MODEL.transfer_time}, hit {MODEL.hit_time}"
+        ),
+    )
+    lru_series = figure.add_series("lru")
+    g5_series = figure.add_series("g5")
+    accuracy_by_capacity = {}
+    for capacity in CAPACITIES:
+        comparison = price_replay(sequence, capacity=capacity, group_size=5, model=MODEL)
+        lru_series.add(capacity, comparison["lru"]["mean_latency"])
+        g5_series.add(capacity, comparison["g5"]["mean_latency"])
+        accuracy_by_capacity[capacity] = comparison["g5"]["prefetch_accuracy"]
+
+    print(render_figure(figure))
+    print()
+    print(figure_to_markdown(figure))
+
+    def first_meeting(series):
+        for capacity in CAPACITIES:
+            if series.y_at(capacity) <= TARGET_MEAN_LATENCY:
+                return capacity
+        return None
+
+    lru_needed = first_meeting(lru_series)
+    g5_needed = first_meeting(g5_series)
+    print(f"\ntarget mean latency: {TARGET_MEAN_LATENCY} time units/access")
+    print(f"  plain LRU needs      : "
+          f"{lru_needed if lru_needed else 'more than ' + str(CAPACITIES[-1])} files")
+    print(f"  aggregating g5 needs : "
+          f"{g5_needed if g5_needed else 'more than ' + str(CAPACITIES[-1])} files")
+    if lru_needed and g5_needed and g5_needed < lru_needed:
+        saved = 1 - g5_needed / lru_needed
+        print(f"  grouping meets the budget with {saved:.0%} less client memory")
+    accuracy = accuracy_by_capacity[CAPACITIES[2]]
+    print(f"  (prefetch accuracy at {CAPACITIES[2]} files: {accuracy:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Rescuing a second-level (server) cache behind client caches.
+
+The paper's Section 4.3 scenario: an NFS-like server's cache sees only
+the *misses* of its clients' caches.  Once client capacity approaches
+server capacity, recency-based policies collapse — there is no locality
+left to exploit.  This example pits the aggregating server cache
+against LRU, LFU, MQ (Zhou et al.), and ARC across a range of client
+cache sizes and renders the result as a terminal chart.
+
+Run with::
+
+    python examples/server_cache_rescue.py
+"""
+
+from repro import (
+    ARCCache,
+    AggregatingServerCache,
+    LFUCache,
+    LRUCache,
+    MQCache,
+    TwoLevelHierarchy,
+    make_workstation,
+)
+from repro.analysis import FigureData, figure_to_markdown, render_figure
+
+SERVER_CAPACITY = 300
+CLIENT_CAPACITIES = (50, 100, 200, 300, 400, 500)
+EVENTS = 40_000
+
+
+def make_server_cache(label):
+    """One fresh server cache per (scheme, client-capacity) cell."""
+    factories = {
+        "g5": lambda: AggregatingServerCache(SERVER_CAPACITY, group_size=5),
+        "lru": lambda: LRUCache(SERVER_CAPACITY),
+        "lfu": lambda: LFUCache(SERVER_CAPACITY),
+        "mq": lambda: MQCache(SERVER_CAPACITY),
+        "arc": lambda: ARCCache(SERVER_CAPACITY),
+    }
+    return factories[label]()
+
+
+def main():
+    sequence = make_workstation(events=EVENTS).file_ids()
+    figure = FigureData(
+        figure_id="server-rescue",
+        title="Server cache hit rate vs client cache capacity (workstation)",
+        xlabel="Client cache capacity (files)",
+        ylabel="Server hit rate (%)",
+        notes=f"server capacity {SERVER_CAPACITY}, {EVENTS} opens",
+    )
+    for label in ("g5", "lru", "lfu", "mq", "arc"):
+        series = figure.add_series(label)
+        for client_capacity in CLIENT_CAPACITIES:
+            stack = TwoLevelHierarchy(
+                LRUCache(client_capacity), make_server_cache(label)
+            )
+            result = stack.replay(sequence)
+            series.add(client_capacity, 100 * result.server_hit_rate)
+
+    print(render_figure(figure))
+    print()
+    print(figure_to_markdown(figure))
+
+    g5_at_500 = figure.get_series("g5").y_at(500)
+    lru_at_500 = figure.get_series("lru").y_at(500)
+    print(
+        f"\nWith clients caching {CLIENT_CAPACITIES[-1]} files, grouping "
+        f"holds a {g5_at_500:.0f}% server hit rate where LRU manages "
+        f"{lru_at_500:.1f}% — inter-file relationships survive the "
+        f"filtering that destroys recency locality."
+    )
+
+
+if __name__ == "__main__":
+    main()

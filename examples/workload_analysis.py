@@ -1,0 +1,79 @@
+"""Workload predictability analysis with successor entropy.
+
+Demonstrates the paper's Section 4.5 tooling as a standalone analysis
+kit: generate (or load) traces, summarize their character, measure
+successor entropy across symbol lengths, find the files contributing
+the most unpredictability, and see how an intervening cache reshapes
+the stream a server observes.
+
+Run with::
+
+    python examples/workload_analysis.py [path/to/trace.txt]
+
+With no argument the four built-in paper workloads are analyzed; with a
+trace file (see ``repro generate``) that trace is analyzed instead.
+"""
+
+import sys
+
+from repro import make_workload, read_trace, summarize
+from repro.analysis import render_sparkline
+from repro.core.entropy import (
+    entropy_profile,
+    filtered_entropy_profile,
+    perplexity,
+    successor_entropy_breakdown,
+)
+
+LENGTHS = (1, 2, 3, 4, 6, 8, 12, 16, 20)
+FILTERS = (10, 100, 1000)
+EVENTS = 30_000
+
+
+def analyze(trace):
+    """Print the full predictability report for one trace."""
+    print(f"\n=== {trace.name} ===")
+    summary = summarize(trace)
+    for label, value in summary.as_rows():
+        print(f"  {label:28s} {value}")
+
+    sequence = trace.file_ids()
+    profile = entropy_profile(sequence, LENGTHS)
+    values = [value for _, value in profile]
+    print(f"\n  successor entropy by symbol length {LENGTHS}:")
+    print(f"    {[round(v, 2) for v in values]}")
+    print(f"    sparkline: {render_sparkline(values, width=40)}")
+    print(
+        f"    at length 1: {values[0]:.2f} bits ~ "
+        f"{perplexity(values[0]):.1f} equally likely successors per file"
+    )
+
+    breakdown = successor_entropy_breakdown(sequence, 1)
+    print(
+        f"\n  files: {breakdown.included_files} repeating, "
+        f"{breakdown.excluded_files} single-access (excluded per Eq. 2)"
+    )
+    print("  top unpredictability contributors (weight x entropy):")
+    for file_id, contribution in breakdown.top_contributors(5):
+        print(f"    {contribution:8.5f}  {file_id}")
+
+    print("\n  entropy of the miss stream behind an intervening LRU cache:")
+    for capacity in FILTERS:
+        filtered = filtered_entropy_profile(trace, capacity, [1])[0][1]
+        print(f"    filter {capacity:5d}: {filtered:.2f} bits")
+
+
+def main():
+    if len(sys.argv) > 1:
+        analyze(read_trace(sys.argv[1]))
+        return
+    for name in ("workstation", "users", "write", "server"):
+        analyze(make_workload(name, EVENTS))
+    print(
+        "\nThe server workload's sub-one-bit successor entropy is why the "
+        "aggregating cache helps it most (paper Figures 3 and 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

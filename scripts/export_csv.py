@@ -1,0 +1,59 @@
+"""Regenerate results/csv/: every figure's data at full (60k) scale.
+
+Usage: ``python scripts/export_csv.py [events]``
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.export import figure_to_csv
+from repro.experiments import (
+    run_adaptation,
+    run_attribution,
+    run_cooperation,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_hoarding,
+    run_metadata_budget,
+    run_peer_caching,
+    run_placement,
+    run_server_capacity,
+)
+
+
+def main() -> int:
+    events = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    out = Path(__file__).resolve().parent.parent / "results" / "csv"
+    out.mkdir(parents=True, exist_ok=True)
+
+    figures = []
+    for workload in ("server", "write"):
+        figures.append(run_fig3(workload=workload, events=events))
+    for workload in ("workstation", "users", "server"):
+        figures.append(run_fig4(workload=workload, events=events))
+    for workload in ("workstation", "server"):
+        figures.append(run_fig5(workload=workload, events=events))
+    figures.append(run_fig7(events=events))
+    for workload in ("write", "users"):
+        figures.append(run_fig8(workload=workload, events=events))
+    figures += [
+        run_placement(events=events),
+        run_hoarding(events=events),
+        run_cooperation(events=events),
+        run_attribution(events=events),
+        run_adaptation(events=events),
+        run_server_capacity(events=events),
+        run_peer_caching(events=events),
+        run_metadata_budget(events=events),
+    ]
+    for figure in figures:
+        figure_to_csv(figure, out / f"{figure.figure_id}.csv")
+    print(f"wrote {len(figures)} CSVs to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Terminal rendering of figures as ASCII line charts.
+
+The benchmark harness and CLI print every reproduced figure directly in
+the terminal so results are inspectable without a plotting stack.  The
+renderer draws a fixed-size character canvas, scales each series onto
+it, and marks points with per-series glyphs, joined by interpolated
+segments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .series import FigureData, Series
+
+#: Glyph cycle assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map a value in [low, high] onto a 0..size-1 cell index."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    index = int(round(fraction * (size - 1)))
+    return max(0, min(size - 1, index))
+
+
+def _format_tick(value: float) -> str:
+    """Compact tick label: integers plain, floats trimmed."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def render_figure(
+    figure: FigureData,
+    width: int = 72,
+    height: int = 20,
+    y_floor_zero: bool = True,
+) -> str:
+    """Render a :class:`FigureData` to a multi-line ASCII chart string.
+
+    Parameters
+    ----------
+    width, height:
+        Canvas size in characters (plot area, excluding axis gutter).
+    y_floor_zero:
+        Anchor the y axis at 0 when all values are non-negative, which
+        keeps hit-rate and fetch-count charts honest.
+    """
+    if width < 16 or height < 6:
+        raise AnalysisError("canvas too small: need width >= 16 and height >= 6")
+    populated = [s for s in figure.series if s.points]
+    if not populated:
+        return f"{figure.title}\n(no data)"
+
+    all_x = [x for s in populated for x, _ in s.points]
+    all_y = [y for s in populated for _, y in s.points]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if y_floor_zero and y_low > 0:
+        y_low = 0.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for series_index, series in enumerate(populated):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        cells: List[Tuple[int, int]] = []
+        for x, y in series.points:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            cells.append((column, row))
+        # Join consecutive points with linear interpolation.
+        for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for step in range(steps + 1):
+                column = round(c0 + (c1 - c0) * step / steps)
+                row = round(r0 + (r1 - r0) * step / steps)
+                if canvas[row][column] == " ":
+                    canvas[row][column] = "."
+        # Point markers overwrite interpolation dots.
+        for column, row in cells:
+            canvas[row][column] = glyph
+
+    gutter = max(len(_format_tick(y_high)), len(_format_tick(y_low))) + 1
+    lines: List[str] = [figure.title]
+    top_label = _format_tick(y_high).rjust(gutter)
+    bottom_label = _format_tick(y_low).rjust(gutter)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = " " * gutter + "+" + "-" * width
+    lines.append(axis)
+    left_tick = _format_tick(x_low)
+    right_tick = _format_tick(x_high)
+    padding = width - len(left_tick) - len(right_tick)
+    lines.append(
+        " " * (gutter + 1) + left_tick + " " * max(padding, 1) + right_tick
+    )
+    lines.append(" " * (gutter + 1) + figure.xlabel)
+    legend_parts = [
+        f"{GLYPHS[i % len(GLYPHS)]} {series.label}"
+        for i, series in enumerate(populated)
+    ]
+    lines.append(" " * (gutter + 1) + "legend: " + "   ".join(legend_parts))
+    lines.append(" " * (gutter + 1) + f"y: {figure.ylabel}")
+    if figure.notes:
+        lines.append(" " * (gutter + 1) + f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line bar sparkline for quick series summaries.
+
+    Uses eighth-block characters; resamples to ``width`` when given.
+    """
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    samples = list(values)
+    if width is not None and width > 0 and len(samples) > width:
+        stride = len(samples) / width
+        samples = [samples[int(i * stride)] for i in range(width)]
+    low, high = min(samples), max(samples)
+    if high == low:
+        return blocks[4] * len(samples)
+    scale = len(blocks) - 1
+    return "".join(
+        blocks[int(round((v - low) / (high - low) * scale))] for v in samples
+    )

@@ -1,0 +1,182 @@
+"""Workload predictability visualization.
+
+The paper's third future-work item: "We are currently extending
+successor entropy for use as part of a more general purpose
+visualization tool for I/O workloads" (Section 6, citing Luo et al.,
+*Visualizing File System Predictability*).  This module provides that
+tooling in terminal form:
+
+* :func:`entropy_timeline` — successor entropy over a sliding window,
+  showing *when* a workload is predictable (phase structure, working-
+  set shifts) rather than one whole-trace average;
+* :func:`per_file_predictability` — each file's conditional entropy and
+  access weight, the scatter the Luo et al. tool plots;
+* :func:`predictability_heatmap` — an ASCII heat-strip of the timeline,
+  composable into multi-workload dashboards;
+* :class:`PredictabilityProfile` — the assembled report object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.entropy import successor_entropy, successor_entropy_breakdown
+from ..errors import AnalysisError
+from .ascii_chart import render_sparkline
+
+#: Heat glyphs from most predictable (cold) to least (hot).
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def entropy_timeline(
+    sequence: Sequence[str], window: int, stride: int = 0
+) -> List[Tuple[int, float]]:
+    """Successor entropy of each sliding window over the trace.
+
+    Returns ``(window_start_event, entropy_bits)`` samples.  ``stride``
+    defaults to the window size (non-overlapping windows); smaller
+    strides smooth the timeline at proportional cost.
+    """
+    if window <= 1:
+        raise AnalysisError(f"window must exceed 1, got {window}")
+    if stride < 0:
+        raise AnalysisError(f"stride must be non-negative, got {stride}")
+    step = stride or window
+    samples: List[Tuple[int, float]] = []
+    for start in range(0, max(len(sequence) - window + 1, 1), step):
+        chunk = sequence[start : start + window]
+        if len(chunk) < 2:
+            break
+        samples.append((start, successor_entropy(chunk)))
+    return samples
+
+
+@dataclass
+class FilePredictability:
+    """One file's predictability coordinates."""
+
+    file_id: str
+    accesses: int
+    weight: float
+    entropy: float
+
+    @property
+    def contribution(self) -> float:
+        """This file's term in the workload's successor entropy."""
+        return self.weight * self.entropy
+
+
+def per_file_predictability(
+    sequence: Sequence[str], minimum_accesses: int = 2
+) -> List[FilePredictability]:
+    """Each repeating file's (weight, entropy) coordinates.
+
+    Sorted by contribution, largest first — the files at the top are
+    where prediction effort is lost; files with high weight and *low*
+    entropy are where grouping wins.
+    """
+    if minimum_accesses < 2:
+        raise AnalysisError("minimum_accesses must be at least 2")
+    from collections import Counter
+
+    counts = Counter(sequence)
+    breakdown = successor_entropy_breakdown(sequence)
+    profiles = [
+        FilePredictability(
+            file_id=file_id,
+            accesses=counts[file_id],
+            weight=weight,
+            entropy=entropy,
+        )
+        for file_id, (weight, entropy) in breakdown.per_file.items()
+        if counts[file_id] >= minimum_accesses
+    ]
+    profiles.sort(key=lambda p: (-p.contribution, p.file_id))
+    return profiles
+
+
+def predictability_heatmap(
+    samples: Sequence[Tuple[int, float]],
+    width: int = 60,
+    ceiling: float = 0.0,
+) -> str:
+    """Render an entropy timeline as a one-line ASCII heat strip.
+
+    Hotter glyphs mean less predictable windows.  ``ceiling`` fixes the
+    scale's top (bits) so strips from different workloads are
+    comparable; 0 auto-scales to the sample maximum.
+    """
+    if not samples:
+        return ""
+    values = [value for _, value in samples]
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(index * stride)] for index in range(width)]
+    top = ceiling if ceiling > 0 else max(values)
+    if top <= 0:
+        return HEAT_GLYPHS[0] * len(values)
+    scale = len(HEAT_GLYPHS) - 1
+    cells = []
+    for value in values:
+        fraction = min(max(value / top, 0.0), 1.0)
+        cells.append(HEAT_GLYPHS[int(round(fraction * scale))])
+    return "".join(cells)
+
+
+@dataclass
+class PredictabilityProfile:
+    """Assembled predictability report for one trace."""
+
+    name: str
+    events: int
+    overall_entropy: float
+    timeline: List[Tuple[int, float]] = field(default_factory=list)
+    hotspots: List[FilePredictability] = field(default_factory=list)
+
+    def render(self, width: int = 60) -> str:
+        """Multi-line terminal rendering of the profile."""
+        values = [value for _, value in self.timeline]
+        lines = [
+            f"predictability profile: {self.name}",
+            f"  events: {self.events}, successor entropy: "
+            f"{self.overall_entropy:.2f} bits",
+        ]
+        if values:
+            lines.append(
+                f"  timeline ({len(self.timeline)} windows, "
+                f"min {min(values):.2f} / max {max(values):.2f} bits):"
+            )
+            lines.append(f"    heat:  {predictability_heatmap(self.timeline, width)}")
+            lines.append(f"    spark: {render_sparkline(values, width)}")
+        if self.hotspots:
+            lines.append("  least predictable files (weight x entropy):")
+            for profile in self.hotspots:
+                lines.append(
+                    f"    {profile.contribution:8.5f}  {profile.file_id} "
+                    f"({profile.accesses} accesses, {profile.entropy:.2f} bits)"
+                )
+        return "\n".join(lines)
+
+
+def profile_sequence(
+    sequence: Sequence[str],
+    name: str = "trace",
+    window: int = 2000,
+    hotspot_count: int = 5,
+) -> PredictabilityProfile:
+    """Build the full :class:`PredictabilityProfile` for a sequence."""
+    effective_window = min(window, max(len(sequence), 2))
+    timeline = (
+        entropy_timeline(sequence, effective_window)
+        if len(sequence) >= 2
+        else []
+    )
+    hotspots = per_file_predictability(sequence)[:hotspot_count] if sequence else []
+    return PredictabilityProfile(
+        name=name,
+        events=len(sequence),
+        overall_entropy=successor_entropy(sequence) if sequence else 0.0,
+        timeline=timeline,
+        hotspots=hotspots,
+    )

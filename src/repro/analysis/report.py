@@ -1,0 +1,149 @@
+"""Full-evaluation report generation.
+
+``repro report`` regenerates every paper figure plus the extension
+studies at a chosen scale and writes one self-contained Markdown
+document — charts, tables, and headline claims — so a fresh machine can
+produce its own EXPERIMENTS-style record with a single command.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from .ascii_chart import render_figure
+from .export import figure_to_markdown, rows_to_markdown
+from .series import FigureData
+
+#: One report section: title, and a builder returning FigureData.
+SectionBuilder = Callable[[], FigureData]
+
+
+def _figure_section(figure: FigureData, charts: bool) -> str:
+    """Render one figure as a report section."""
+    parts: List[str] = [f"## {figure.title}", ""]
+    if charts:
+        parts.append("```")
+        parts.append(render_figure(figure))
+        parts.append("```")
+        parts.append("")
+    parts.append(figure_to_markdown(figure, caption=False))
+    if figure.notes:
+        parts.append("")
+        parts.append(f"*{figure.notes}*")
+    parts.append("")
+    return "\n".join(parts)
+
+
+def default_sections(events: int) -> List[Tuple[str, SectionBuilder]]:
+    """The standard full-evaluation section list at a given scale.
+
+    Imports are deferred so building a custom report does not drag in
+    every experiment module.
+    """
+    from ..experiments import (
+        run_adaptation,
+        run_attribution,
+        run_cooperation,
+        run_fig3,
+        run_fig4,
+        run_fig5,
+        run_fig7,
+        run_fig8,
+        run_hoarding,
+        run_peer_caching,
+        run_placement,
+        run_server_capacity,
+    )
+
+    sections: List[Tuple[str, SectionBuilder]] = []
+    for workload in ("server", "write"):
+        sections.append(
+            (f"fig3-{workload}", lambda w=workload: run_fig3(workload=w, events=events))
+        )
+    for workload in ("workstation", "users", "server"):
+        sections.append(
+            (f"fig4-{workload}", lambda w=workload: run_fig4(workload=w, events=events))
+        )
+    for workload in ("workstation", "server"):
+        sections.append(
+            (f"fig5-{workload}", lambda w=workload: run_fig5(workload=w, events=events))
+        )
+    sections.append(("fig7", lambda: run_fig7(events=events)))
+    for workload in ("write", "users"):
+        sections.append(
+            (f"fig8-{workload}", lambda w=workload: run_fig8(workload=w, events=events))
+        )
+    sections.extend(
+        [
+            ("placement", lambda: run_placement(events=events)),
+            ("hoarding", lambda: run_hoarding(events=events)),
+            ("cooperation", lambda: run_cooperation(events=events)),
+            ("attribution", lambda: run_attribution(events=events)),
+            ("adaptation", lambda: run_adaptation(events=events)),
+            ("server-capacity", lambda: run_server_capacity(events=events)),
+            ("peer-caching", lambda: run_peer_caching(events=events)),
+        ]
+    )
+    return sections
+
+
+def build_report(
+    events: int = 20_000,
+    charts: bool = True,
+    sections: Optional[Sequence[Tuple[str, SectionBuilder]]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Regenerate the evaluation and return the Markdown text.
+
+    ``sections`` overrides the standard list (pairs of id + builder);
+    ``progress`` receives each section id as it starts.
+    """
+    if events <= 0:
+        raise AnalysisError(f"events must be positive, got {events}")
+    chosen = list(sections) if sections is not None else default_sections(events)
+    buffer = io.StringIO()
+    buffer.write("# Full evaluation report\n\n")
+    buffer.write(
+        "Regenerated from scratch by `repro report`: every paper figure "
+        "plus the Section 6 extension studies, at "
+        f"{events} events per workload.  All numbers are deterministic "
+        "for this scale and the default seeds.\n\n"
+    )
+
+    from ..experiments import run_headline
+
+    if progress is not None:
+        progress("headline")
+    headline = run_headline(events=events)
+    buffer.write("## Headline claims\n\n")
+    buffer.write(rows_to_markdown(headline.to_rows()))
+    buffer.write("\n\n")
+
+    for section_id, builder in chosen:
+        if progress is not None:
+            progress(section_id)
+        figure = builder()
+        buffer.write(_figure_section(figure, charts))
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def write_report(
+    destination: Union[str, Path],
+    events: int = 20_000,
+    charts: bool = True,
+    sections: Optional[Sequence[Tuple[str, SectionBuilder]]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Build the report and write it to ``destination``; returns the path."""
+    path = Path(destination)
+    path.write_text(
+        build_report(
+            events=events, charts=charts, sections=sections, progress=progress
+        ),
+        encoding="utf-8",
+    )
+    return path

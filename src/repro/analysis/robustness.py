@@ -1,0 +1,127 @@
+"""Seed-robustness analysis.
+
+Every workload here is synthetic, so a skeptical reader's first
+question is: *do the results survive a different random seed, or were
+the generators tuned to one lucky draw?*  This module mechanizes the
+answer: run a figure across several seeds, aggregate each series into a
+min/mean/max band, and check a claimed ordering in every single draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .series import FigureData, Series
+
+#: A figure builder parameterized only by seed.
+SeededBuilder = Callable[[int], FigureData]
+
+
+@dataclass
+class SeedBand:
+    """Per-x min/mean/max of one series across seeds."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    minimums: List[float] = field(default_factory=list)
+    means: List[float] = field(default_factory=list)
+    maximums: List[float] = field(default_factory=list)
+
+    def spread_at(self, x: float) -> float:
+        """max - min at one x coordinate."""
+        index = self.xs.index(x)
+        return self.maximums[index] - self.minimums[index]
+
+    @property
+    def worst_spread(self) -> float:
+        """The widest band across all x."""
+        if not self.xs:
+            return 0.0
+        return max(
+            maximum - minimum
+            for maximum, minimum in zip(self.maximums, self.minimums)
+        )
+
+
+def seed_sweep(
+    builder: SeededBuilder, seeds: Sequence[int]
+) -> Tuple[List[FigureData], Dict[str, SeedBand]]:
+    """Run a figure once per seed; return all figures plus series bands.
+
+    Every seed's figure must have the same series labels and x values —
+    a mismatch raises, since bands over ragged runs would be
+    meaningless.
+    """
+    if not seeds:
+        raise AnalysisError("seed_sweep needs at least one seed")
+    figures = [builder(seed) for seed in seeds]
+    reference = figures[0]
+    labels = reference.labels()
+    xs = reference.x_values()
+    for figure in figures[1:]:
+        if figure.labels() != labels or figure.x_values() != xs:
+            raise AnalysisError(
+                "seeded runs disagree on series labels or x values"
+            )
+    bands: Dict[str, SeedBand] = {}
+    for label in labels:
+        band = SeedBand(label=label, xs=list(xs))
+        for x in xs:
+            values = [figure.get_series(label).y_at(x) for figure in figures]
+            band.minimums.append(min(values))
+            band.means.append(sum(values) / len(values))
+            band.maximums.append(max(values))
+        bands[label] = band
+    return figures, bands
+
+
+def ordering_holds_for_every_seed(
+    figures: Sequence[FigureData],
+    better: str,
+    worse: str,
+    direction: str = "lower",
+    tolerance: float = 0.0,
+) -> bool:
+    """Whether ``better``'s series beats ``worse``'s in every seeded run.
+
+    ``direction="lower"`` means smaller y wins (fetch counts, miss
+    rates); ``"higher"`` means larger y wins (hit rates).
+    """
+    if direction not in ("lower", "higher"):
+        raise AnalysisError(f"direction must be 'lower' or 'higher', got {direction}")
+    for figure in figures:
+        better_series = figure.get_series(better)
+        worse_series = figure.get_series(worse)
+        for x in figure.x_values():
+            b = better_series.y_at(x)
+            w = worse_series.y_at(x)
+            if direction == "lower" and b > w + tolerance:
+                return False
+            if direction == "higher" and b < w - tolerance:
+                return False
+    return True
+
+
+def band_figure(
+    bands: Dict[str, SeedBand],
+    figure_id: str,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+) -> FigureData:
+    """Render seed bands as a figure: one min/mean/max triple per series."""
+    figure = FigureData(
+        figure_id=figure_id, title=title, xlabel=xlabel, ylabel=ylabel
+    )
+    for label, band in bands.items():
+        for suffix, values in (
+            ("min", band.minimums),
+            ("mean", band.means),
+            ("max", band.maximums),
+        ):
+            series = figure.add_series(f"{label}:{suffix}")
+            for x, value in zip(band.xs, values):
+                series.add(x, value)
+    return figure

@@ -1,0 +1,80 @@
+"""Cache policy substrate.
+
+Whole-file caches keyed on file identifiers, all sharing the
+:class:`~repro.caching.base.Cache` interface so trace replay, the
+multi-level hierarchy, and the aggregating cache compose with any
+policy.  ``POLICIES`` maps policy names to constructors for CLI and
+sweep use.
+"""
+
+from typing import Callable, Dict
+
+from .arc import ARCCache
+from .base import Cache, CacheStats, NullCache
+from .clock import ClockCache
+from .fifo import FIFOCache
+from .lfu import LFUCache
+from .lirs import LIRSCache
+from .lru import LRUCache
+from .mq import MQCache
+from .multilevel import HierarchyResult, MultiLevelHierarchy, TwoLevelHierarchy
+from .opt import OPTCache, opt_miss_count
+from .random_cache import RandomCache
+from .slru import SLRUCache
+from .stack_distance import hit_rate_curve, miss_curve, stack_distances, working_set_knee
+from .twoq import TwoQCache
+
+#: Online policies constructible from a capacity alone.
+POLICIES: Dict[str, Callable[[int], Cache]] = {
+    "lru": LRUCache,
+    "lfu": LFUCache,
+    "fifo": FIFOCache,
+    "clock": ClockCache,
+    "mq": MQCache,
+    "arc": ARCCache,
+    "lirs": LIRSCache,
+    "random": RandomCache,
+    "2q": TwoQCache,
+    "slru": SLRUCache,
+}
+
+
+def make_cache(policy: str, capacity: int) -> Cache:
+    """Construct an online cache by policy name.
+
+    Raises KeyError listing the valid names when the policy is unknown.
+    """
+    try:
+        constructor = POLICIES[policy]
+    except KeyError:
+        names = ", ".join(sorted(POLICIES))
+        raise KeyError(f"unknown policy {policy!r} (expected one of: {names})")
+    return constructor(capacity)
+
+
+__all__ = [
+    "ARCCache",
+    "Cache",
+    "CacheStats",
+    "ClockCache",
+    "FIFOCache",
+    "HierarchyResult",
+    "LFUCache",
+    "LIRSCache",
+    "LRUCache",
+    "MQCache",
+    "MultiLevelHierarchy",
+    "NullCache",
+    "OPTCache",
+    "POLICIES",
+    "RandomCache",
+    "SLRUCache",
+    "TwoLevelHierarchy",
+    "TwoQCache",
+    "hit_rate_curve",
+    "make_cache",
+    "miss_curve",
+    "opt_miss_count",
+    "stack_distances",
+    "working_set_knee",
+]

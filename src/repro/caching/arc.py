@@ -1,0 +1,129 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+ARC postdates the paper by a year but is the canonical recency/frequency
+self-balancing policy, which makes it the perfect foil for the paper's
+Section 2.2 discussion of recency *versus* frequency as likelihood
+estimators: ARC answers "why choose?" at the cache level, while the
+aggregating cache answers it at the metadata level.  The extension
+benchmarks pit them against each other.
+
+Implementation follows the FAST'03 pseudocode: two resident LRU lists
+``T1`` (recent) and ``T2`` (frequent) and two ghost lists ``B1``/``B2``
+holding only keys, with the adaptation parameter ``p`` shifting target
+size between recency and frequency on ghost hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Cache
+
+
+class ARCCache(Cache):
+    """Adaptive Replacement Cache over file identifiers."""
+
+    policy_name = "arc"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._t1: "OrderedDict[str, None]" = OrderedDict()  # recent, resident
+        self._t2: "OrderedDict[str, None]" = OrderedDict()  # frequent, resident
+        self._b1: "OrderedDict[str, None]" = OrderedDict()  # recent, ghost
+        self._b2: "OrderedDict[str, None]" = OrderedDict()  # frequent, ghost
+        self._p = 0.0  # target size of T1
+
+    # -- ARC internals ----------------------------------------------------
+    def _replace(self, key_in_b2: bool) -> None:
+        """REPLACE(p): evict from T1 or T2 into the matching ghost list."""
+        if self._t1 and (
+            len(self._t1) > self._p
+            or (key_in_b2 and len(self._t1) == int(self._p))
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        self.stats.evictions += 1
+
+    def _lookup(self, key: str) -> bool:
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+            return True
+        if key in self._t2:
+            self._t2.move_to_end(key)
+            return True
+        return False
+
+    def _admit(self, key: str) -> None:
+        capacity = self.capacity
+        if key in self._b1:
+            # Recency ghost hit: grow the recency target.
+            delta = max(len(self._b2) / max(len(self._b1), 1), 1.0)
+            self._p = min(self._p + delta, float(capacity))
+            del self._b1[key]
+            self._replace(key_in_b2=False)
+            self._t2[key] = None
+            return
+        if key in self._b2:
+            # Frequency ghost hit: shrink the recency target.
+            delta = max(len(self._b1) / max(len(self._b2), 1), 1.0)
+            self._p = max(self._p - delta, 0.0)
+            del self._b2[key]
+            self._replace(key_in_b2=True)
+            self._t2[key] = None
+            return
+
+        # Brand-new key: Case IV of the FAST'03 pseudocode.
+        l1 = len(self._t1) + len(self._b1)
+        l2 = len(self._t2) + len(self._b2)
+        if l1 == capacity:
+            if len(self._t1) < capacity:
+                self._b1.popitem(last=False)
+                self._replace(key_in_b2=False)
+            else:
+                victim, _ = self._t1.popitem(last=False)
+                self.stats.evictions += 1
+        elif l1 < capacity and l1 + l2 >= capacity:
+            if l1 + l2 == 2 * capacity:
+                self._b2.popitem(last=False)
+            if len(self._t1) + len(self._t2) >= capacity:
+                self._replace(key_in_b2=False)
+        self._t1[key] = None
+
+    def _evict_one(self) -> str:  # pragma: no cover - ARC manages its own room
+        if self._t1:
+            key, _ = self._t1.popitem(last=False)
+        else:
+            key, _ = self._t2.popitem(last=False)
+        return key
+
+    def _make_room(self) -> None:
+        # ARC's admission logic already bounds |T1|+|T2| <= capacity;
+        # the base class's generic eviction loop must not interfere.
+        return None
+
+    def _remove(self, key: str) -> None:
+        for store in (self._t1, self._t2):
+            if key in store:
+                del store[key]
+                return
+        raise KeyError(key)
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def keys(self) -> Iterator[str]:
+        yield from self._t1
+        yield from self._t2
+
+    @property
+    def recency_target(self) -> float:
+        """Current adaptive target size for the recency list T1."""
+        return self._p

@@ -1,0 +1,81 @@
+"""CLOCK (second-chance) cache.
+
+A one-bit approximation of LRU used by real operating systems.  It is
+included so the multi-level experiments can be rerun against the cache
+the client is *actually* likely to run, testing the paper's claim that
+grouping's resilience to intervening caches is not an artifact of exact
+LRU filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .base import Cache
+
+
+class ClockCache(Cache):
+    """Second-chance replacement over a circular buffer of keys.
+
+    Each resident key has a reference bit, set on hit.  The clock hand
+    sweeps the buffer; a set bit buys the key one more revolution, a
+    clear bit makes it the victim.
+    """
+
+    policy_name = "clock"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._slots: List[str] = []
+        self._referenced: Dict[str, bool] = {}
+        self._hand = 0
+
+    def _lookup(self, key: str) -> bool:
+        if key in self._referenced:
+            self._referenced[key] = True
+            return True
+        return False
+
+    def _admit(self, key: str) -> None:
+        # New keys enter at the hand position with a clear bit, exactly
+        # where the next sweep will consider them last.
+        self._slots.insert(self._hand, key)
+        self._referenced[key] = False
+        self._hand = (self._hand + 1) % max(len(self._slots), 1)
+
+    def _evict_one(self) -> str:
+        while True:
+            if self._hand >= len(self._slots):
+                self._hand = 0
+            key = self._slots[self._hand]
+            if self._referenced[key]:
+                self._referenced[key] = False
+                self._hand = (self._hand + 1) % len(self._slots)
+            else:
+                del self._slots[self._hand]
+                del self._referenced[key]
+                if self._slots:
+                    self._hand %= len(self._slots)
+                else:
+                    self._hand = 0
+                return key
+
+    def _remove(self, key: str) -> None:
+        index = self._slots.index(key)
+        del self._slots[index]
+        del self._referenced[key]
+        if index < self._hand:
+            self._hand -= 1
+        if self._slots:
+            self._hand %= len(self._slots)
+        else:
+            self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._referenced
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._slots))

@@ -1,0 +1,47 @@
+"""First-in-first-out cache.
+
+Not evaluated in the paper, but a standard reference point: FIFO
+ignores recency entirely, so comparing it against LRU isolates how much
+of a workload's cacheability comes from recency rather than mere
+residence.  Used by extension benchmarks and by tests exercising the
+shared :class:`~repro.caching.base.Cache` machinery.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Cache
+
+
+class FIFOCache(Cache):
+    """Evicts the key that has been resident longest; hits do not promote."""
+
+    policy_name = "fifo"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def _lookup(self, key: str) -> bool:
+        return key in self._order
+
+    def _admit(self, key: str) -> None:
+        self._order[key] = None
+
+    def _evict_one(self) -> str:
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def _remove(self, key: str) -> None:
+        del self._order[key]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._order
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._order)

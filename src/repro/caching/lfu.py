@@ -1,0 +1,94 @@
+"""Least-frequently-used cache.
+
+LFU is the second server-side baseline in Figure 4.  This is the
+in-cache variant: frequency counts exist only while a file is resident
+and are discarded on eviction (so a re-admitted file starts over), which
+matches the classical formulation the paper compares against.
+
+Ties on frequency are broken by recency (the least recently used of the
+least frequently used is evicted), implemented with an O(1)
+frequency-bucket structure (Ketama-style doubly-bucketed LFU).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator
+
+from .base import Cache
+
+
+class LFUCache(Cache):
+    """LFU with LRU tie-breaking and O(1) operations.
+
+    ``_buckets`` maps a frequency to an ordered set (OrderedDict) of the
+    keys currently at that frequency; ``_frequency`` maps each resident
+    key to its count.  ``_min_frequency`` tracks the smallest non-empty
+    bucket so eviction never scans.
+    """
+
+    policy_name = "lfu"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._frequency: Dict[str, int] = {}
+        self._buckets: Dict[int, "OrderedDict[str, None]"] = {}
+        self._min_frequency = 0
+
+    def _bump(self, key: str) -> None:
+        """Move ``key`` from its bucket to the next-higher one."""
+        count = self._frequency[key]
+        bucket = self._buckets[count]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[count]
+            if self._min_frequency == count:
+                self._min_frequency = count + 1
+        self._frequency[key] = count + 1
+        self._buckets.setdefault(count + 1, OrderedDict())[key] = None
+
+    def _lookup(self, key: str) -> bool:
+        if key in self._frequency:
+            self._bump(key)
+            return True
+        return False
+
+    def _admit(self, key: str) -> None:
+        self._frequency[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_frequency = 1
+
+    def _evict_one(self) -> str:
+        bucket = self._buckets[self._min_frequency]
+        key, _ = bucket.popitem(last=False)
+        del self._frequency[key]
+        if not bucket:
+            del self._buckets[self._min_frequency]
+            self._min_frequency = min(self._buckets, default=0)
+        return key
+
+    def _remove(self, key: str) -> None:
+        count = self._frequency.pop(key)
+        bucket = self._buckets[count]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[count]
+            if self._min_frequency == count:
+                self._min_frequency = min(self._buckets, default=0)
+
+    def __len__(self) -> int:
+        return len(self._frequency)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._frequency
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._frequency))
+
+    def frequency_of(self, key: str) -> int:
+        """Current in-cache access count of a resident key.
+
+        Raises KeyError when the key is not resident.  Exposed for tests
+        and for frequency-distribution analyses.
+        """
+        return self._frequency[key]

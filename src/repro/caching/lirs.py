@@ -1,0 +1,183 @@
+"""LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS 2002).
+
+Contemporary with the paper, LIRS replaces recency with *inter-reference
+recency* (IRR): blocks re-referenced at short intervals (LIR) keep the
+bulk of the cache, while long-IRR blocks (HIR) fight over a small
+fraction — which makes LIRS strongly scan-resistant and a natural
+second-level-cache candidate alongside MQ/2Q/ARC in this repo's
+comparisons.
+
+Structures, following the paper:
+
+* stack ``S``: recency-ordered entries — LIR blocks, resident HIR
+  blocks, and a bounded set of *non-resident* HIR ghosts;
+* queue ``Q``: the resident HIR blocks (FIFO), the eviction pool;
+* stack pruning keeps S's bottom entry LIR.
+
+A hit on a HIR block that is still in S proves a short IRR: the block
+becomes LIR and the bottom LIR block demotes to HIR.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from .base import Cache
+
+
+class LIRSCache(Cache):
+    """LIRS replacement over file identifiers.
+
+    ``hir_fraction`` sets the resident-HIR share of capacity (the
+    paper's ~1%; small whole-file caches use a larger floor so Q is
+    never empty).  The non-resident ghost population in S is bounded by
+    ``ghost_factor * capacity``.
+    """
+
+    policy_name = "lirs"
+
+    def __init__(
+        self,
+        capacity: int,
+        hir_fraction: float = 0.1,
+        ghost_factor: float = 2.0,
+    ):
+        super().__init__(capacity)
+        if not 0.0 < hir_fraction < 1.0:
+            raise ValueError(
+                f"hir_fraction must be in (0, 1), got {hir_fraction}"
+            )
+        if ghost_factor < 0:
+            raise ValueError(f"ghost_factor must be >= 0, got {ghost_factor}")
+        self.hir_capacity = max(1, int(capacity * hir_fraction))
+        self.lir_capacity = max(capacity - self.hir_capacity, 1)
+        self.ghost_capacity = int(capacity * ghost_factor)
+        # S: key -> status; most recent at the end.
+        self._stack: "OrderedDict[str, str]" = OrderedDict()  # 'LIR'|'HIR'|'GHOST'
+        self._queue: "OrderedDict[str, None]" = OrderedDict()  # resident HIR
+        self._lir_count = 0
+
+    # -- internals ---------------------------------------------------------
+    def _prune_stack(self) -> None:
+        """Drop bottom entries until the bottom of S is a LIR block."""
+        while self._stack:
+            bottom, status = next(iter(self._stack.items()))
+            if status == "LIR":
+                return
+            del self._stack[bottom]
+
+    def _bound_ghosts(self) -> None:
+        """Evict the oldest ghosts beyond the ghost budget."""
+        ghosts = [k for k, status in self._stack.items() if status == "GHOST"]
+        excess = len(ghosts) - self.ghost_capacity
+        for key in ghosts[:excess]:
+            del self._stack[key]
+
+    def _demote_bottom_lir(self) -> None:
+        """Turn the stack's bottom LIR block into a resident HIR block."""
+        bottom = next(iter(self._stack))
+        del self._stack[bottom]
+        self._lir_count -= 1
+        self._queue[bottom] = None
+        self._prune_stack()
+
+    def _evict_resident_hir(self) -> None:
+        """Evict the front of Q; keep its ghost in S if still stacked."""
+        victim, _ = self._queue.popitem(last=False)
+        if victim in self._stack:
+            self._stack[victim] = "GHOST"
+        self.stats.evictions += 1
+
+    # -- Cache protocol -----------------------------------------------------
+    def _lookup(self, key: str) -> bool:
+        status = self._stack.get(key)
+        if status == "LIR":
+            self._stack.move_to_end(key)
+            self._prune_stack()
+            return True
+        if key in self._queue:
+            # Resident HIR hit.
+            if status == "HIR":
+                # Still in S: short IRR — promote to LIR.
+                del self._queue[key]
+                self._stack[key] = "LIR"
+                self._stack.move_to_end(key)
+                self._lir_count += 1
+                if self._lir_count > self.lir_capacity:
+                    self._demote_bottom_lir()
+            else:
+                # Not in S: refresh in both structures, stays HIR.
+                self._stack[key] = "HIR"
+                self._stack.move_to_end(key)
+                self._queue.move_to_end(key)
+            return True
+        return False
+
+    def _admit(self, key: str) -> None:
+        status = self._stack.get(key)
+        if self._lir_count < self.lir_capacity and status != "GHOST":
+            # Cold cache: fill the LIR set first.
+            self._stack[key] = "LIR"
+            self._stack.move_to_end(key)
+            self._lir_count += 1
+            return
+        if status == "GHOST":
+            # Re-reference within ghost memory: short IRR, enters LIR.
+            self._stack[key] = "LIR"
+            self._stack.move_to_end(key)
+            self._lir_count += 1
+            if self._lir_count > self.lir_capacity:
+                self._demote_bottom_lir()
+        else:
+            # First sight (or long-forgotten): resident HIR.
+            self._stack[key] = "HIR"
+            self._stack.move_to_end(key)
+            self._queue[key] = None
+        self._bound_ghosts()
+
+    def _make_room(self) -> None:
+        while len(self) >= self.capacity:
+            if self._queue:
+                self._evict_resident_hir()
+            else:
+                self._demote_bottom_lir()
+
+    def _evict_one(self) -> str:  # pragma: no cover - _make_room overrides
+        if self._queue:
+            victim = next(iter(self._queue))
+            self._evict_resident_hir()
+            return victim
+        bottom = next(iter(self._stack))
+        self._demote_bottom_lir()
+        return bottom
+
+    def _remove(self, key: str) -> None:
+        if key in self._queue:
+            del self._queue[key]
+            if self._stack.get(key) == "HIR":
+                del self._stack[key]
+            self._prune_stack()
+            return
+        if self._stack.get(key) == "LIR":
+            del self._stack[key]
+            self._lir_count -= 1
+            self._prune_stack()
+            return
+        raise KeyError(key)
+
+    def __len__(self) -> int:
+        return self._lir_count + len(self._queue)
+
+    def __contains__(self, key: str) -> bool:
+        return self._stack.get(key) == "LIR" or key in self._queue
+
+    def keys(self) -> Iterator[str]:
+        for key, status in list(self._stack.items()):
+            if status == "LIR":
+                yield key
+        yield from list(self._queue)
+
+    def is_lir(self, key: str) -> bool:
+        """Whether a resident key is in the LIR (protected) set."""
+        return self._stack.get(key) == "LIR"

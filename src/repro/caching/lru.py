@@ -1,0 +1,131 @@
+"""Least-recently-used cache.
+
+LRU is the paper's universal baseline: the client cache in Figure 3,
+the intervening filter cache in Figures 4 and 8, and one of the two
+server policies grouping is compared against.
+
+Beyond the standard policy this implementation exposes *two insertion
+ends* — MRU head and LRU tail — because the aggregating cache places the
+demanded file at the head and appends unconfirmed group members at the
+tail (Section 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from .base import Cache
+
+
+class LRUCache(Cache):
+    """Classic LRU over file identifiers, with dual-ended insertion.
+
+    The recency order is kept in an :class:`collections.OrderedDict`
+    whose *last* entry is the most recently used and whose *first*
+    entry is the eviction victim.
+    """
+
+    policy_name = "lru"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+        #: Optional callback invoked with each evicted key.  Used by
+        #: instrumentation (e.g. prefetch-waste accounting) that needs
+        #: to know when a key left without ever being demanded.
+        self.evict_listener = None
+
+    def _lookup(self, key: str) -> bool:
+        if key in self._order:
+            self._order.move_to_end(key)
+            return True
+        return False
+
+    def _admit(self, key: str) -> None:
+        self._order[key] = None
+
+    def _evict_one(self) -> str:
+        key, _ = self._order.popitem(last=False)
+        if self.evict_listener is not None:
+            self.evict_listener(key)
+        return key
+
+    def _remove(self, key: str) -> None:
+        del self._order[key]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._order
+
+    def keys(self) -> Iterator[str]:
+        """Resident keys from LRU victim to MRU head."""
+        return iter(self._order)
+
+    # -- aggregating-cache support ---------------------------------------
+    def install_at_tail(self, key: str) -> bool:
+        """Install ``key`` at the LRU end (first to be evicted).
+
+        Used for unconfirmed group members so they never displace the
+        retention priority of demand-fetched files.  Returns True when
+        the key was newly installed; an already-resident key is left at
+        its current position.
+        """
+        if key in self._order:
+            return False
+        self.stats.installs += 1
+        self._make_room()
+        self._order[key] = None
+        self._order.move_to_end(key, last=False)
+        return True
+
+    def install_group_at_tail(self, keys) -> int:
+        """Install a batch of keys at the LRU end, nearest-first.
+
+        This is the aggregating cache's placement step: the group's
+        companions are "appended to the end" of the LRU list in
+        predicted access order, so the *farthest* prediction is the
+        first evicted.  Installation is a batch operation — victims are
+        evicted from the old tail before any companion is placed —
+        because per-key insertion at the eviction end would make each
+        companion evict the previous one whenever the cache is full.
+
+        Already-resident keys are left untouched (no promotion), the
+        batch is trimmed to ``capacity - 1`` so the demanded MRU file
+        is never displaced, and the number of newly installed keys is
+        returned.
+        """
+        newcomers = []
+        seen = set()
+        for key in keys:
+            if key not in self._order and key not in seen:
+                newcomers.append(key)
+                seen.add(key)
+        newcomers = newcomers[: max(self.capacity - 1, 0)]
+        if not newcomers:
+            return 0
+        overflow = len(self._order) + len(newcomers) - self.capacity
+        for _ in range(max(overflow, 0)):
+            self._evict_one()
+            self.stats.evictions += 1
+        for key in newcomers:
+            self._order[key] = None
+            self._order.move_to_end(key, last=False)
+            self.stats.installs += 1
+        return len(newcomers)
+
+    def victim(self) -> str:
+        """The key that would be evicted next (cache must be non-empty)."""
+        return next(iter(self._order))
+
+    def recency_rank(self, key: str) -> int:
+        """0-based rank from the MRU end; raises KeyError if absent.
+
+        Exposed for tests and for the insertion-position ablation.
+        """
+        for rank, candidate in enumerate(reversed(self._order)):
+            if candidate == key:
+                return rank
+        raise KeyError(key)

@@ -1,0 +1,111 @@
+"""Multi-level cache hierarchies.
+
+Models the paper's Section 4.3 topology: a client cache stands between
+the workload and the server cache, so the server only observes — and
+can only learn from — the client's miss stream.  The hierarchy is
+policy-agnostic at both levels; the aggregating server cache plugs in
+through the same interface as LRU/LFU (see
+:class:`repro.core.aggregating_cache.AggregatingServerCache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .base import Cache, CacheStats, NullCache
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of replaying a trace through a two-level hierarchy."""
+
+    client_stats: CacheStats
+    server_stats: CacheStats
+    #: Demand accesses that reached the server (== client misses).
+    server_requests: int
+
+    @property
+    def client_hit_rate(self) -> float:
+        """Hit rate observed at the client cache."""
+        return self.client_stats.hit_rate
+
+    @property
+    def server_hit_rate(self) -> float:
+        """Hit rate observed at the server cache, over server requests."""
+        return self.server_stats.hit_rate
+
+    @property
+    def end_to_end_hit_rate(self) -> float:
+        """Fraction of workload accesses absorbed before the backing store."""
+        accesses = self.client_stats.accesses
+        if not accesses:
+            return 0.0
+        store_fetches = self.server_stats.misses
+        return 1.0 - (store_fetches / accesses)
+
+
+class TwoLevelHierarchy:
+    """A client cache in front of a server cache.
+
+    Every workload access first consults the client cache; only misses
+    are forwarded to the server cache, exactly reproducing the filtering
+    effect the paper studies.  Pass ``client=None`` (or a
+    :class:`NullCache`) to expose the server to the raw stream.
+    """
+
+    def __init__(self, client: Optional[Cache], server: Cache):
+        self.client = client if client is not None else NullCache()
+        self.server = server
+
+    def access(self, key: str) -> bool:
+        """Issue one demand access; returns True if any level hit."""
+        if self.client.access(key):
+            return True
+        self.server.access(key)
+        return False
+
+    def replay(self, sequence: Sequence[str]) -> HierarchyResult:
+        """Drive the hierarchy with a full access sequence."""
+        for key in sequence:
+            self.access(key)
+        return self.result()
+
+    def result(self) -> HierarchyResult:
+        """Snapshot the hierarchy's statistics."""
+        return HierarchyResult(
+            client_stats=self.client.stats.snapshot(),
+            server_stats=self.server.stats.snapshot(),
+            server_requests=self.server.stats.accesses,
+        )
+
+
+class MultiLevelHierarchy:
+    """An arbitrary-depth stack of caches (level 0 is nearest the client).
+
+    Generalizes :class:`TwoLevelHierarchy` for the extension experiments
+    on deeper storage hierarchies (client memory → client disk → server
+    memory), each level seeing only the miss stream of the level above.
+    """
+
+    def __init__(self, levels: Sequence[Cache]):
+        if not levels:
+            raise ValueError("a hierarchy needs at least one cache level")
+        self.levels: List[Cache] = list(levels)
+
+    def access(self, key: str) -> int:
+        """Issue one access; returns the level index that hit, or -1.
+
+        A return of ``-1`` means every level missed and the backing
+        store served the request.
+        """
+        for index, level in enumerate(self.levels):
+            if level.access(key):
+                return index
+        return -1
+
+    def replay(self, sequence: Sequence[str]) -> List[CacheStats]:
+        """Drive the stack with a full sequence; returns per-level stats."""
+        for key in sequence:
+            self.access(key)
+        return [level.stats.snapshot() for level in self.levels]

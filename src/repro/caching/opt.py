@@ -1,0 +1,109 @@
+"""Belady's OPT — the offline optimal replacement bound.
+
+OPT evicts the resident key whose next use lies farthest in the future.
+It is unimplementable online but gives every experiment an upper bound:
+the gap between a policy and OPT is the headroom prediction could still
+claim.  The extension benchmarks report the aggregating cache's position
+between LRU and OPT.
+
+Because OPT needs the future, it is constructed from the full access
+sequence and then driven with :meth:`access` in the same order.  Driving
+it out of order raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Sequence
+
+from ..errors import SimulationError
+from .base import Cache
+
+#: Sentinel "never used again" distance.
+_INFINITY = float("inf")
+
+
+class OPTCache(Cache):
+    """Belady's optimal policy, precomputed from a known future."""
+
+    policy_name = "opt"
+
+    def __init__(self, capacity: int, future: Sequence[str]):
+        super().__init__(capacity)
+        self._future = list(future)
+        self._cursor = 0
+        # next_use[i] = index of the next access to future[i] after i,
+        # or _INFINITY.  Built backwards in one pass.
+        self._next_use: List[float] = [0.0] * len(self._future)
+        last_position: Dict[str, int] = {}
+        for index in range(len(self._future) - 1, -1, -1):
+            key = self._future[index]
+            self._next_use[index] = last_position.get(key, _INFINITY)
+            last_position[key] = index
+        self._resident: Dict[str, float] = {}  # key -> its next use position
+        self._heap: List[tuple] = []  # (-next_use, key), lazily invalidated
+
+    def _lookup(self, key: str) -> bool:
+        self._check_cursor(key)
+        hit = key in self._resident
+        if hit:
+            self._schedule(key)
+        self._cursor += 1
+        return hit
+
+    def _check_cursor(self, key: str) -> None:
+        if self._cursor >= len(self._future):
+            raise SimulationError(
+                "OPTCache driven past the end of its known future"
+            )
+        expected = self._future[self._cursor]
+        if expected != key:
+            raise SimulationError(
+                f"OPTCache expected access to {expected!r} at position "
+                f"{self._cursor}, got {key!r}; drive it with the same "
+                f"sequence it was constructed from"
+            )
+
+    def _schedule(self, key: str) -> None:
+        """Record the key's next use from the current position."""
+        next_use = self._next_use[self._cursor]
+        self._resident[key] = next_use
+        heapq.heappush(self._heap, (-next_use, key))
+
+    def _admit(self, key: str) -> None:
+        # _lookup has already advanced the cursor past this access, so
+        # the scheduling information lives at cursor - 1.
+        next_use = self._next_use[self._cursor - 1]
+        self._resident[key] = next_use
+        heapq.heappush(self._heap, (-next_use, key))
+
+    def _evict_one(self) -> str:
+        while self._heap:
+            negated, key = heapq.heappop(self._heap)
+            if key in self._resident and self._resident[key] == -negated:
+                del self._resident[key]
+                return key
+        raise SimulationError("evict from empty OPTCache")  # pragma: no cover
+
+    def _remove(self, key: str) -> None:
+        del self._resident[key]
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._resident
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._resident))
+
+
+def opt_miss_count(capacity: int, sequence: Sequence[str]) -> int:
+    """Misses incurred by OPT on ``sequence`` with the given capacity.
+
+    Convenience wrapper used by benchmarks to report optimality gaps.
+    """
+    cache = OPTCache(capacity, sequence)
+    for key in sequence:
+        cache.access(key)
+    return cache.stats.misses

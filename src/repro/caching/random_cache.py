@@ -1,0 +1,66 @@
+"""Random replacement cache.
+
+The weakest reasonable baseline: evicts a uniformly random resident
+key.  Any policy that cannot beat random replacement on a workload is
+extracting no signal from it, which makes this the floor line in the
+extension benchmarks.  The RNG is injected (seeded) so simulations stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from .base import Cache
+
+
+class RandomCache(Cache):
+    """Uniform-random eviction with O(1) operations.
+
+    Residency is a dict from key to its index in a dense list; eviction
+    swaps the victim with the last element before popping, the standard
+    constant-time random-removal arrangement.
+    """
+
+    policy_name = "random"
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None):
+        super().__init__(capacity)
+        self._rng = rng if rng is not None else random.Random(0)
+        self._slots: List[str] = []
+        self._index: Dict[str, int] = {}
+
+    def _lookup(self, key: str) -> bool:
+        return key in self._index
+
+    def _admit(self, key: str) -> None:
+        self._index[key] = len(self._slots)
+        self._slots.append(key)
+
+    def _evict_one(self) -> str:
+        position = self._rng.randrange(len(self._slots))
+        victim = self._slots[position]
+        last = self._slots[-1]
+        self._slots[position] = last
+        self._index[last] = position
+        self._slots.pop()
+        del self._index[victim]
+        return victim
+
+    def _remove(self, key: str) -> None:
+        position = self._index[key]
+        last = self._slots[-1]
+        self._slots[position] = last
+        self._index[last] = position
+        self._slots.pop()
+        del self._index[key]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._slots))

@@ -1,0 +1,84 @@
+"""Segmented LRU (SLRU) — Karedla, Love & Wherry, 1994.
+
+Two LRU segments: *probationary* (first-time entries) and *protected*
+(entries that have hit at least once while resident).  A hit promotes
+into the protected segment; when the protected segment overflows, its
+LRU entry falls back to the probationary MRU rather than leaving the
+cache.  Victims always come from the probationary LRU end.
+
+SLRU is the simplest frequency-aware LRU variant — a useful midpoint
+between plain LRU and the heavier MQ/ARC machinery in the second-level
+cache comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from .base import Cache
+
+
+class SLRUCache(Cache):
+    """Segmented LRU with a configurable protected fraction."""
+
+    policy_name = "slru"
+
+    def __init__(self, capacity: int, protected_fraction: float = 0.8):
+        super().__init__(capacity)
+        if not 0.0 < protected_fraction < 1.0:
+            raise ValueError(
+                f"protected_fraction must be in (0, 1), got {protected_fraction}"
+            )
+        self.protected_capacity = max(int(capacity * protected_fraction), 1)
+        self._probationary: "OrderedDict[str, None]" = OrderedDict()
+        self._protected: "OrderedDict[str, None]" = OrderedDict()
+
+    def _lookup(self, key: str) -> bool:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return True
+        if key in self._probationary:
+            del self._probationary[key]
+            self._promote(key)
+            return True
+        return False
+
+    def _promote(self, key: str) -> None:
+        """Move a key into the protected segment, demoting on overflow."""
+        self._protected[key] = None
+        while len(self._protected) > self.protected_capacity:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probationary[demoted] = None
+
+    def _admit(self, key: str) -> None:
+        self._probationary[key] = None
+
+    def _evict_one(self) -> str:
+        if self._probationary:
+            key, _ = self._probationary.popitem(last=False)
+            return key
+        key, _ = self._protected.popitem(last=False)
+        return key
+
+    def _remove(self, key: str) -> None:
+        if key in self._probationary:
+            del self._probationary[key]
+        elif key in self._protected:
+            del self._protected[key]
+        else:
+            raise KeyError(key)
+
+    def __len__(self) -> int:
+        return len(self._probationary) + len(self._protected)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._probationary or key in self._protected
+
+    def keys(self) -> Iterator[str]:
+        yield from self._probationary
+        yield from self._protected
+
+    def is_protected(self, key: str) -> bool:
+        """Whether a resident key sits in the protected segment."""
+        return key in self._protected

@@ -1,0 +1,94 @@
+"""2Q cache — Johnson & Shasha, VLDB 1994.
+
+The other classic answer (beside MQ and ARC) to LRU's weakness against
+one-time scans and filtered streams: a small FIFO staging queue
+(``A1in``) absorbs first-time accesses, a ghost list (``A1out``)
+remembers what recently left staging, and only keys re-referenced from
+the ghost list enter the protected main LRU (``Am``).  Relevant here
+because the paper's Section 4.3 server cache faces exactly the
+scan-like, locality-stripped stream 2Q was designed for.
+
+Implements the full 2Q algorithm with the authors' recommended sizing:
+``Kin = capacity / 4`` and ``Kout = capacity / 2``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from .base import Cache
+
+
+class TwoQCache(Cache):
+    """2Q replacement over file identifiers."""
+
+    policy_name = "2q"
+
+    def __init__(
+        self,
+        capacity: int,
+        kin: Optional[int] = None,
+        kout: Optional[int] = None,
+    ):
+        super().__init__(capacity)
+        self.kin = kin if kin is not None else max(capacity // 4, 1)
+        self.kout = kout if kout is not None else max(capacity // 2, 1)
+        self._a1in: "OrderedDict[str, None]" = OrderedDict()  # FIFO, resident
+        self._a1out: "OrderedDict[str, None]" = OrderedDict()  # ghost keys
+        self._am: "OrderedDict[str, None]" = OrderedDict()  # LRU, resident
+
+    def _lookup(self, key: str) -> bool:
+        if key in self._am:
+            self._am.move_to_end(key)
+            return True
+        if key in self._a1in:
+            # 2Q leaves A1in hits where they are: a second access soon
+            # after the first is correlated, not proof of reuse.
+            return True
+        return False
+
+    def _admit(self, key: str) -> None:
+        if key in self._a1out:
+            # Re-reference after staging: genuine reuse, goes to Am.
+            del self._a1out[key]
+            self._am[key] = None
+        else:
+            self._a1in[key] = None
+
+    def _evict_one(self) -> str:
+        if len(self._a1in) > self.kin or not self._am:
+            key, _ = self._a1in.popitem(last=False)
+            # Remember it in the ghost list.
+            self._a1out[key] = None
+            while len(self._a1out) > self.kout:
+                self._a1out.popitem(last=False)
+            return key
+        key, _ = self._am.popitem(last=False)
+        return key
+
+    def _remove(self, key: str) -> None:
+        if key in self._a1in:
+            del self._a1in[key]
+        elif key in self._am:
+            del self._am[key]
+        else:
+            raise KeyError(key)
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._a1in or key in self._am
+
+    def keys(self) -> Iterator[str]:
+        yield from self._a1in
+        yield from self._am
+
+    def in_staging(self, key: str) -> bool:
+        """Whether a resident key is still in A1in (for tests)."""
+        return key in self._a1in
+
+    def in_ghost(self, key: str) -> bool:
+        """Whether a key's metadata is remembered in A1out (for tests)."""
+        return key in self._a1out

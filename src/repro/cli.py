@@ -1,0 +1,480 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Runs any of the paper's figure reproductions end-to-end, renders the
+result as an ASCII chart plus a data table, and optionally writes CSV.
+Also exposes workload generation and trace inspection so the substrate
+is usable standalone::
+
+    repro fig3 --workload server          # paper figures...
+    repro fig7
+    repro headline                        # abstract claims, recomputed
+    repro placement | hoard | cooperation # Section 6 future-work studies
+    repro attribution | adaptation | servercap | compare
+    repro profile --workload users        # predictability tooling
+    repro graph --workload server         # relationship-graph inspection
+    repro workloads [name]                # the synthetic workload catalog
+    repro report --out report.md          # regenerate everything
+    repro generate / inspect / anonymize  # trace tooling
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.ascii_chart import render_figure
+from .analysis.export import figure_to_csv, rows_to_markdown
+from .analysis.series import FigureData
+from .errors import ReproError
+from .analysis.predictability import profile_sequence
+from .experiments import (
+    DEFAULT_EVENTS,
+    run_adaptation,
+    run_attribution,
+    run_cooperation,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_headline,
+    run_hoarding,
+    run_placement,
+    run_server_capacity,
+)
+from .traces.reader import read_trace
+from .traces.stats import summarize
+from .traces.writer import write_trace
+from .workloads.synthetic import WORKLOADS, make_workload
+
+
+def _add_common_options(parser: argparse.ArgumentParser, workload_default: str = "") -> None:
+    """Options shared by every figure subcommand."""
+    if workload_default:
+        parser.add_argument(
+            "--workload",
+            default=workload_default,
+            choices=sorted(WORKLOADS),
+            help=f"workload to replay (default: {workload_default})",
+        )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENTS,
+        help=f"trace length in accesses (default: {DEFAULT_EVENTS})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    parser.add_argument(
+        "--csv", type=Path, default=None, help="also write the series as CSV"
+    )
+    parser.add_argument(
+        "--width", type=int, default=72, help="chart width in characters"
+    )
+    parser.add_argument(
+        "--height", type=int, default=20, help="chart height in characters"
+    )
+
+
+def _emit_figure(figure: FigureData, args: argparse.Namespace) -> None:
+    """Render one figure to stdout (and CSV when requested)."""
+    print(render_figure(figure, width=args.width, height=args.height))
+    print()
+    print(rows_to_markdown(figure.to_rows()))
+    if args.csv is not None:
+        figure_to_csv(figure, args.csv)
+        print(f"\nwrote {args.csv}")
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    figure = run_fig3(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    figure = run_fig4(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    figure = run_fig5(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    figure = run_fig7(events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    figure = run_fig8(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    report = run_headline(events=args.events, seed=args.seed)
+    print(rows_to_markdown(report.to_rows()))
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    figure = run_placement(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_hoard(args: argparse.Namespace) -> int:
+    figure = run_hoarding(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_cooperation(args: argparse.Namespace) -> int:
+    figure = run_cooperation(
+        workload=args.workload, events=args.events, seed=args.seed
+    )
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        trace = read_trace(args.trace)
+        sequence = trace.file_ids()
+        name = trace.name
+    else:
+        sequence = list(
+            make_workload(args.workload, args.events, args.seed).file_ids()
+        )
+        name = args.workload
+    profile = profile_sequence(sequence, name=name, window=args.window)
+    print(profile.render())
+    return 0
+
+
+def _cmd_adaptation(args: argparse.Namespace) -> int:
+    figure = run_adaptation(workload=args.workload, events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_attribution(args: argparse.Namespace) -> int:
+    figure = run_attribution(events=args.events, seed=args.seed)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_servercap(args: argparse.Namespace) -> int:
+    figure = run_server_capacity(
+        workload=args.workload, events=args.events, seed=args.seed
+    )
+    _emit_figure(figure, args)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from .core.graph import RelationshipGraph, graph_summary_rows, hub_files
+
+    sequence = make_workload(args.workload, args.events, args.seed).file_ids()
+    graph = RelationshipGraph.from_sequence(sequence)
+    print(
+        f"relationship graph of {args.workload}: "
+        f"{len(graph.nodes())} files, {len(graph.edges())} edges\n"
+    )
+    print(rows_to_markdown(graph_summary_rows(graph, top=args.top)))
+    print("\nhub files (most distinct predecessors):")
+    for file_id, in_degree in hub_files(graph, top=5):
+        print(f"  {in_degree:4d}  {file_id}")
+    groups = graph.covering_groups(args.group_size)
+    print(f"\ncovering set at g={args.group_size}: {len(groups)} groups")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_report
+
+    def progress(section_id):
+        print(f"  running {section_id}...", file=sys.stderr)
+
+    path = write_report(
+        args.out, events=args.events, charts=not args.no_charts, progress=progress
+    )
+    print(f"wrote full evaluation report to {path}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from .workloads.catalog import CATALOG, catalog_rows
+
+    if args.name:
+        from .workloads.catalog import describe_workload
+
+        profile = describe_workload(args.name)
+        print(f"{profile.name}: {profile.stands_in_for}")
+        print(f"\n{profile.character}\n")
+        print("mechanisms:")
+        for mechanism in profile.dominant_mechanisms:
+            print(f"  - {mechanism}")
+        print("calibration targets (machine-checked):")
+        for target in profile.calibration_targets:
+            print(f"  - {target}")
+        return 0
+    print(rows_to_markdown(catalog_rows()))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Cache-policy shootout: hit rates of every policy on one workload."""
+    from .caching import POLICIES, make_cache
+    from .core.aggregating_cache import AggregatingClientCache
+    from .workloads.synthetic import make_workload
+
+    trace = make_workload(args.workload, args.events, args.seed)
+    sequence = trace.file_ids()
+    rows = [["policy", "hit rate", "misses"]]
+    for name in sorted(POLICIES):
+        cache = make_cache(name, args.capacity)
+        for key in sequence:
+            cache.access(key)
+        rows.append(
+            [name, f"{cache.stats.hit_rate:.3f}", str(cache.stats.misses)]
+        )
+    aggregating = AggregatingClientCache(
+        capacity=args.capacity, group_size=args.group_size
+    )
+    aggregating.replay(sequence)
+    rows.append(
+        [
+            f"aggregating g{args.group_size}",
+            f"{aggregating.stats.hit_rate:.3f}",
+            str(aggregating.stats.misses),
+        ]
+    )
+    print(
+        f"workload {args.workload}, {args.events} events, "
+        f"capacity {args.capacity} files:\n"
+    )
+    print(rows_to_markdown(rows))
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from .traces.anonymize import anonymize_trace, enumerate_trace
+
+    trace = read_trace(args.trace)
+    if args.key:
+        anonymized = anonymize_trace(trace, key=args.key)
+    else:
+        anonymized = enumerate_trace(trace)
+    write_trace(anonymized, args.out)
+    print(
+        f"anonymized {len(trace)} events "
+        f"({'keyed hash' if args.key else 'enumeration'}) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = make_workload(args.workload, args.events, args.seed)
+    write_trace(trace, args.out)
+    print(f"wrote {len(trace)} events ({trace.unique_files()} files) to {args.out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    summary = summarize(trace)
+    rows = [["property", "value"]] + [list(row) for row in summary.as_rows()]
+    print(rows_to_markdown(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Group-Based Management of Distributed File Caches' "
+            "(ICDCS 2002): figures, headline claims, and workload tooling."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = subparsers.add_parser(
+        "fig3", help="client demand fetches vs cache capacity, per group size"
+    )
+    _add_common_options(fig3, workload_default="server")
+    fig3.set_defaults(handler=_cmd_fig3)
+
+    fig4 = subparsers.add_parser(
+        "fig4", help="server hit rate vs intervening client cache capacity"
+    )
+    _add_common_options(fig4, workload_default="workstation")
+    fig4.set_defaults(handler=_cmd_fig4)
+
+    fig5 = subparsers.add_parser(
+        "fig5", help="successor-list miss probability: Oracle vs LRU vs LFU"
+    )
+    _add_common_options(fig5, workload_default="workstation")
+    fig5.set_defaults(handler=_cmd_fig5)
+
+    fig7 = subparsers.add_parser(
+        "fig7", help="successor entropy vs successor sequence length"
+    )
+    _add_common_options(fig7)
+    fig7.set_defaults(handler=_cmd_fig7)
+
+    fig8 = subparsers.add_parser(
+        "fig8", help="successor entropy of LRU-filtered miss streams"
+    )
+    _add_common_options(fig8, workload_default="write")
+    fig8.set_defaults(handler=_cmd_fig8)
+
+    headline = subparsers.add_parser(
+        "headline", help="recompute the paper's abstract/conclusion claims"
+    )
+    _add_common_options(headline)
+    headline.set_defaults(handler=_cmd_headline)
+
+    placement = subparsers.add_parser(
+        "placement", help="grouping for data placement: seek distance by layout"
+    )
+    _add_common_options(placement, workload_default="server")
+    placement.set_defaults(handler=_cmd_placement)
+
+    hoard = subparsers.add_parser(
+        "hoard", help="mobile hoarding: offline miss rate by hoard policy"
+    )
+    _add_common_options(hoard, workload_default="server")
+    hoard.set_defaults(handler=_cmd_hoard)
+
+    cooperation = subparsers.add_parser(
+        "cooperation",
+        help="server grouping with vs without piggy-backed client statistics",
+    )
+    _add_common_options(cooperation, workload_default="server")
+    cooperation.set_defaults(handler=_cmd_cooperation)
+
+    profile = subparsers.add_parser(
+        "profile", help="predictability profile: entropy timeline + hotspots"
+    )
+    _add_common_options(profile, workload_default="workstation")
+    profile.add_argument(
+        "--trace", type=Path, default=None, help="profile a stored trace instead"
+    )
+    profile.add_argument(
+        "--window", type=int, default=2000, help="timeline window (events)"
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
+    adaptation = subparsers.add_parser(
+        "adaptation", help="hit rate across an abrupt workload shift"
+    )
+    _add_common_options(adaptation, workload_default="server")
+    adaptation.set_defaults(handler=_cmd_adaptation)
+
+    attribution = subparsers.add_parser(
+        "attribution", help="global vs per-client successor tracking"
+    )
+    _add_common_options(attribution)
+    attribution.set_defaults(handler=_cmd_attribution)
+
+    servercap = subparsers.add_parser(
+        "servercap", help="server-capacity sensitivity of the Figure 4 result"
+    )
+    _add_common_options(servercap, workload_default="workstation")
+    servercap.set_defaults(handler=_cmd_servercap)
+
+    graph = subparsers.add_parser(
+        "graph", help="inspect a workload's inter-file relationship graph"
+    )
+    _add_common_options(graph, workload_default="workstation")
+    graph.add_argument("--top", type=int, default=12, help="edges to show")
+    graph.add_argument("--group-size", type=int, default=5)
+    graph.set_defaults(handler=_cmd_graph)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate the whole evaluation into one Markdown file"
+    )
+    report.add_argument("--out", type=Path, default=Path("report.md"))
+    report.add_argument(
+        "--events", type=int, default=20_000, help="events per workload"
+    )
+    report.add_argument(
+        "--no-charts", action="store_true", help="tables only, no ASCII charts"
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    workloads_cmd = subparsers.add_parser(
+        "workloads", help="describe the built-in synthetic workloads"
+    )
+    workloads_cmd.add_argument(
+        "name", nargs="?", default="", help="one workload for full detail"
+    )
+    workloads_cmd.set_defaults(handler=_cmd_workloads)
+
+    compare = subparsers.add_parser(
+        "compare", help="hit-rate shootout: every cache policy on one workload"
+    )
+    _add_common_options(compare, workload_default="workstation")
+    compare.add_argument(
+        "--capacity", type=int, default=300, help="cache capacity in files"
+    )
+    compare.add_argument(
+        "--group-size", type=int, default=5, help="aggregating cache group size"
+    )
+    compare.set_defaults(handler=_cmd_compare)
+
+    anonymize = subparsers.add_parser(
+        "anonymize", help="anonymize a stored trace (keyed hash or enumeration)"
+    )
+    anonymize.add_argument("trace", type=Path)
+    anonymize.add_argument("--out", type=Path, required=True)
+    anonymize.add_argument(
+        "--key",
+        default="",
+        help="HMAC key for stable hashing; omit for sequential enumeration",
+    )
+    anonymize.set_defaults(handler=_cmd_anonymize)
+
+    generate = subparsers.add_parser(
+        "generate", help="synthesize a workload trace to a file"
+    )
+    generate.add_argument(
+        "--workload", required=True, choices=sorted(WORKLOADS)
+    )
+    generate.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", type=Path, required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="summarize a stored trace file"
+    )
+    inspect.add_argument("trace", type=Path)
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

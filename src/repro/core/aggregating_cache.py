@@ -1,0 +1,233 @@
+"""The aggregating cache (paper Section 3, evaluated in Sections 4.2-4.3).
+
+Two deployments of the same idea:
+
+* :class:`AggregatingClientCache` — the client-side configuration of
+  Figure 2/Figure 3.  The client's cache manager replaces each demand
+  fetch with a *group* fetch: the server (which holds the relationship
+  metadata, fed by access statistics piggy-backed on client requests)
+  returns the demanded file plus up to ``g-1`` predicted companions.
+  "Upon receiving a group of g files, the client uses LRU replacement
+  for its cache, placing the requested file at the head of its list,
+  with the remaining members of the group appended to the end."
+* :class:`AggregatingServerCache` — the server-side configuration of
+  Figure 4, with *no client cooperation*: the server sees only the miss
+  stream of an intervening client cache, builds its successor metadata
+  from that filtered stream, and still fetches groups from server
+  storage on each of its own misses.  It implements the standard
+  :class:`~repro.caching.base.Cache` interface so it drops into
+  :class:`~repro.caching.multilevel.TwoLevelHierarchy` beside LRU/LFU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..caching.base import Cache, CacheStats
+from ..caching.lru import LRUCache
+from ..errors import CacheConfigurationError
+from .grouping import Group, GroupBuilder
+from .successors import SuccessorTracker
+
+
+@dataclass
+class GroupFetchLog:
+    """Aggregate accounting of group retrieval activity.
+
+    ``group_fetches`` equals demand misses (every miss triggers exactly
+    one group request); ``files_retrieved`` counts every file shipped,
+    demanded or predicted; ``predicted_installed`` counts predicted
+    companions that were actually new to the cache (already-resident
+    companions are not shipped twice).
+    """
+
+    group_fetches: int = 0
+    files_retrieved: int = 0
+    predicted_installed: int = 0
+
+    @property
+    def mean_group_size(self) -> float:
+        """Average files shipped per group fetch."""
+        if not self.group_fetches:
+            return 0.0
+        return self.files_retrieved / self.group_fetches
+
+
+class AggregatingClientCache:
+    """Client cache with group fetches replacing demand fetches.
+
+    Parameters
+    ----------
+    capacity:
+        Client cache capacity in whole files.
+    group_size:
+        ``g`` — the best-effort group size; 1 degenerates to plain LRU.
+    successor_policy / successor_capacity:
+        Management of the server-side per-file successor lists.  The
+        paper's configuration is LRU lists of a small handful of
+        entries.
+    shared_tracker:
+        Optional externally owned tracker, letting several caches (or a
+        pre-trained server) share relationship metadata.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        group_size: int = 5,
+        successor_policy: str = "lru",
+        successor_capacity: int = 8,
+        shared_tracker: Optional[SuccessorTracker] = None,
+    ):
+        self._cache = LRUCache(capacity)
+        self.tracker = (
+            shared_tracker
+            if shared_tracker is not None
+            else SuccessorTracker(policy=successor_policy, capacity=successor_capacity)
+        )
+        self.builder = GroupBuilder(self.tracker, group_size)
+        self.group_size = group_size
+        self.fetch_log = GroupFetchLog()
+
+    @property
+    def capacity(self) -> int:
+        """Client cache capacity in files."""
+        return self._cache.capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        """Demand hit/miss statistics of the client cache."""
+        return self._cache.stats
+
+    @property
+    def demand_fetches(self) -> int:
+        """Remote fetch requests issued — the Figure 3 y-axis.
+
+        One per demand miss: the group is retrieved with a single
+        request, which is precisely why "reducing the number of
+        inter-group transitions is equivalent to reducing the total
+        number of remote fetch requests" (Section 2.1).
+        """
+        return self._cache.stats.misses
+
+    def access(self, file_id: str) -> bool:
+        """One file open at the client; returns True on cache hit.
+
+        The access statistic is forwarded to the (conceptual) server
+        tracker unconditionally — hits included — because the client
+        piggy-backs its full, unfiltered access stream (Section 3).
+        """
+        self.tracker.observe(file_id)
+        if self._cache.access(file_id):
+            return True
+        # Demand miss: one group request to the server.
+        group = self.builder.build(file_id)
+        self.fetch_log.group_fetches += 1
+        self.fetch_log.files_retrieved += 1  # the demanded file itself
+        # The demanded file was installed at the MRU head by access();
+        # companions go to the LRU tail as one batch so unconfirmed
+        # predictions never outrank demand-fetched residents (and never
+        # evict each other).
+        installed = self._install_companions(group.predicted)
+        self.fetch_log.files_retrieved += installed
+        self.fetch_log.predicted_installed += installed
+        return False
+
+    def _install_companions(self, companions) -> int:
+        """Place predicted companions; subclass hook for instrumentation."""
+        return self._cache.install_group_at_tail(companions)
+
+    def replay(self, sequence: Sequence[str]) -> CacheStats:
+        """Drive the cache with a full access sequence."""
+        for file_id in sequence:
+            self.access(file_id)
+        return self._cache.stats.snapshot()
+
+    def __contains__(self, file_id: str) -> bool:
+        return file_id in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def resident_files(self) -> Iterator[str]:
+        """Resident files from LRU victim to MRU head."""
+        return self._cache.keys()
+
+
+class AggregatingServerCache(Cache):
+    """Server-side aggregating cache behind an uncooperative client cache.
+
+    Conforms to the :class:`Cache` protocol: ``access`` is called with
+    the server's request stream (the client cache's misses).  Successor
+    metadata is learned from that same filtered stream — "in this
+    section we assume no cooperation from the intervening client
+    caches" (Section 4.3).  On a server miss the demanded file plus its
+    predicted group is staged from server storage into the server
+    cache.
+    """
+
+    policy_name = "aggregating"
+
+    def __init__(
+        self,
+        capacity: int,
+        group_size: int = 5,
+        successor_policy: str = "lru",
+        successor_capacity: int = 8,
+        shared_tracker: Optional[SuccessorTracker] = None,
+        observe_requests: bool = True,
+    ):
+        super().__init__(capacity)
+        self._cache = LRUCache(capacity)
+        self.tracker = (
+            shared_tracker
+            if shared_tracker is not None
+            else SuccessorTracker(policy=successor_policy, capacity=successor_capacity)
+        )
+        self.builder = GroupBuilder(self.tracker, group_size)
+        self.group_size = group_size
+        self.fetch_log = GroupFetchLog()
+        # When the tracker is fed externally (cooperative clients
+        # piggy-backing their full access streams), the server must not
+        # double-observe its own filtered request stream.
+        self.observe_requests = observe_requests
+        # Share the inner cache's stats object so base-class accounting
+        # and hierarchy reporting observe one source of truth.
+        self.stats = self._cache.stats
+
+    # -- Cache protocol ----------------------------------------------------
+    def access(self, key: str) -> bool:
+        """One server request (a client miss); returns True on server hit."""
+        if self.observe_requests:
+            self.tracker.observe(key)
+        if self._cache.access(key):
+            return True
+        group = self.builder.build(key)
+        self.fetch_log.group_fetches += 1
+        self.fetch_log.files_retrieved += 1
+        installed = self._cache.install_group_at_tail(group.predicted)
+        self.fetch_log.files_retrieved += installed
+        self.fetch_log.predicted_installed += installed
+        return False
+
+    def _lookup(self, key: str) -> bool:  # pragma: no cover - access() overrides
+        return key in self._cache
+
+    def _admit(self, key: str) -> None:  # pragma: no cover - access() overrides
+        self._cache._admit(key)
+
+    def _evict_one(self) -> str:  # pragma: no cover - access() overrides
+        return self._cache._evict_one()
+
+    def _remove(self, key: str) -> None:
+        self._cache.invalidate(key)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cache
+
+    def keys(self) -> Iterator[str]:
+        return self._cache.keys()

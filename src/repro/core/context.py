@@ -1,0 +1,131 @@
+"""Finite multi-order context modeling (PPM-style) for file prediction.
+
+The paper's related work (Section 5) traces a second lineage of
+predictors: data-compression-based context models — Vitter & Krishnan's
+optimal prefetching results, Curewitz/Krishnan/Vitter's practical
+prefetching via compression, and Kroeger & Long's PPM-based file
+predictors.  Where the aggregating cache keeps one small successor list
+per file (an order-1, recency-managed model), PPM keeps frequency
+counts conditioned on contexts of several preceding accesses and blends
+orders with an escape mechanism.
+
+:class:`PPMPredictor` implements that family behind the common
+:class:`~repro.core.predictors.Predictor` interface so the ablation
+benches can weigh the paper's "minimal metadata" argument directly:
+how much accuracy do the extra orders buy, and at what state cost?
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, List, Tuple
+
+from ..errors import CacheConfigurationError
+from .predictors import Predictor
+
+#: A context: the tuple of the most recent accesses, oldest first.
+Context = Tuple[str, ...]
+
+
+class PPMPredictor(Predictor):
+    """Prediction by partial matching over file-access contexts.
+
+    Parameters
+    ----------
+    max_order:
+        Longest context length tracked.  Order 1 conditions on the
+        current file only (the successor-list model's information);
+        order 3 conditions on the last three accesses.
+    max_contexts:
+        Bound on tracked contexts *per order* (LRU-evicted), keeping
+        state finite on unbounded streams.  0 means unbounded —
+        acceptable for offline analysis, not for a server.
+    """
+
+    name = "ppm"
+
+    def __init__(self, max_order: int = 2, max_contexts: int = 0):
+        if max_order <= 0:
+            raise CacheConfigurationError(
+                f"max_order must be positive, got {max_order}"
+            )
+        if max_contexts < 0:
+            raise CacheConfigurationError(
+                f"max_contexts must be >= 0, got {max_contexts}"
+            )
+        self.max_order = max_order
+        self.max_contexts = max_contexts
+        #: per order: context -> successor counts.
+        self._tables: List[Dict[Context, Counter]] = [
+            {} for _ in range(max_order)
+        ]
+        #: per order: insertion-ordered context keys for LRU bounding.
+        self._recency: List[Dict[Context, None]] = [{} for _ in range(max_order)]
+        self._history: Deque[str] = deque(maxlen=max_order)
+
+    def _touch(self, order_index: int, context: Context) -> None:
+        """Refresh a context's recency; evict the coldest when over budget."""
+        recency = self._recency[order_index]
+        if context in recency:
+            del recency[context]
+        recency[context] = None
+        if self.max_contexts and len(recency) > self.max_contexts:
+            coldest = next(iter(recency))
+            del recency[coldest]
+            del self._tables[order_index][coldest]
+
+    def update(self, file_id: str) -> None:
+        history = list(self._history)
+        for order in range(1, min(len(history), self.max_order) + 1):
+            context: Context = tuple(history[-order:])
+            table = self._tables[order - 1]
+            counts = table.get(context)
+            if counts is None:
+                counts = Counter()
+                table[context] = counts
+            counts[file_id] += 1
+            self._touch(order - 1, context)
+        self._history.append(file_id)
+
+    def predict(self, file_id: str, k: int) -> List[str]:
+        """Top-``k`` predictions, longest matching context first.
+
+        PPM escape: predictions from the longest context that has been
+        seen come first; remaining slots are filled from progressively
+        shorter contexts (excluding already-chosen files), ending at
+        order 1 (condition on ``file_id`` alone).
+        """
+        if k <= 0:
+            return []
+        history = list(self._history)
+        if not history or history[-1] != file_id:
+            # predict() may be called without a preceding update for
+            # this access; treat file_id as the current context end.
+            history = (history + [file_id])[-self.max_order :]
+        predictions: List[str] = []
+        chosen = set()
+        for order in range(min(len(history), self.max_order), 0, -1):
+            context: Context = tuple(history[-order:])
+            counts = self._tables[order - 1].get(context)
+            if not counts:
+                continue
+            for candidate, _count in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            ):
+                if candidate not in chosen:
+                    chosen.add(candidate)
+                    predictions.append(candidate)
+                    if len(predictions) >= k:
+                        return predictions
+        return predictions
+
+    def context_count(self) -> int:
+        """Total tracked contexts across all orders (the state cost)."""
+        return sum(len(table) for table in self._tables)
+
+    def metadata_entries(self) -> int:
+        """Total (context, successor) count entries — comparable to
+        :meth:`repro.core.successors.SuccessorTracker.metadata_entries`."""
+        return sum(
+            len(counts) for table in self._tables for counts in table.values()
+        )

@@ -1,0 +1,202 @@
+"""Inter-file relationship graphs (paper Section 2.1, Figure 1).
+
+Nodes are files; a directed edge ``A -> B`` means B has been observed
+to immediately follow A, with the edge's *strength* estimating the
+likelihood of that succession.  Groups are subsets of nodes harvested
+from this graph; crucially the paper builds a **minimal covering set of
+overlapping groups**, not a partition — a popular file (a shell, make)
+legitimately belongs to many groups.
+
+The graph here is an analysis/visualization view over the same
+observations a :class:`~repro.core.successors.SuccessorTracker` makes
+online; the aggregating cache itself never materializes it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple  # noqa: F401
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed relationship with its observation count."""
+
+    source: str
+    target: str
+    weight: int
+
+
+class RelationshipGraph:
+    """Weighted directed graph of immediate-succession observations."""
+
+    def __init__(self):
+        self._successors: Dict[str, Counter] = defaultdict(Counter)
+        self._predecessors: Dict[str, Counter] = defaultdict(Counter)
+        self._access_counts: Counter = Counter()
+
+    @classmethod
+    def from_sequence(cls, sequence: Sequence[str]) -> "RelationshipGraph":
+        """Build the full graph of an access sequence in one pass."""
+        graph = cls()
+        previous: Optional[str] = None
+        for file_id in sequence:
+            graph._access_counts[file_id] += 1
+            if previous is not None:
+                graph.add_observation(previous, file_id)
+            previous = file_id
+        return graph
+
+    def add_observation(self, source: str, target: str) -> None:
+        """Record one observed succession ``source -> target``."""
+        self._successors[source][target] += 1
+        self._predecessors[target][source] += 1
+
+    # -- queries -----------------------------------------------------------
+    def nodes(self) -> Set[str]:
+        """Every file appearing as a source or target."""
+        return set(self._successors) | set(self._predecessors)
+
+    def edges(self) -> List[Edge]:
+        """All edges, heaviest first (deterministic tie order by name)."""
+        collected = [
+            Edge(source, target, weight)
+            for source, row in self._successors.items()
+            for target, weight in row.items()
+        ]
+        collected.sort(key=lambda e: (-e.weight, e.source, e.target))
+        return collected
+
+    def successors_of(self, file_id: str, k: int = 0) -> List[Tuple[str, int]]:
+        """(successor, weight) pairs, heaviest first; ``k=0`` means all."""
+        row = self._successors.get(file_id)
+        if not row:
+            return []
+        ranked = sorted(row.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k] if k else ranked
+
+    def edge_weight(self, source: str, target: str) -> int:
+        """Observation count of one edge (0 when absent)."""
+        return self._successors.get(source, Counter())[target]
+
+    def succession_probability(self, source: str, target: str) -> float:
+        """P(next access is ``target`` | current access is ``source``)."""
+        row = self._successors.get(source)
+        if not row:
+            return 0.0
+        total = sum(row.values())
+        return row[target] / total if total else 0.0
+
+    def out_degree(self, file_id: str) -> int:
+        """Number of distinct observed successors."""
+        return len(self._successors.get(file_id, ()))
+
+    # -- grouping ----------------------------------------------------------
+    def group_for(self, start: str, size: int) -> List[str]:
+        """Best-effort group of ``size`` files seeded at ``start``.
+
+        Follows the most-likely-successor chain (transitive successors,
+        Section 3); when the chain revisits the group or dead-ends, the
+        next-strongest unused successor of the earlier members is taken
+        instead, preserving best-effort size.
+        """
+        if size <= 0:
+            return []
+        group: List[str] = [start]
+        member_set = {start}
+        frontier = start
+        while len(group) < size:
+            chosen = self._next_unused(frontier, member_set)
+            if chosen is None:
+                chosen = self._fallback(group, member_set)
+            if chosen is None:
+                break
+            group.append(chosen)
+            member_set.add(chosen)
+            frontier = chosen
+        return group
+
+    def _next_unused(self, file_id: str, used: Set[str]) -> Optional[str]:
+        for successor, _weight in self.successors_of(file_id):
+            if successor not in used:
+                return successor
+        return None
+
+    def _fallback(self, group: Sequence[str], used: Set[str]) -> Optional[str]:
+        for member in group:
+            candidate = self._next_unused(member, used)
+            if candidate is not None:
+                return candidate
+        return None
+
+    def covering_groups(self, size: int) -> List[List[str]]:
+        """A minimal covering set of (possibly overlapping) groups.
+
+        Every node appears in at least one group; groups are seeded from
+        nodes in decreasing access count so popular files anchor their
+        own groups *and* may appear inside others — the paper's explicit
+        departure from partition-based grouping.  Seeds already covered
+        by an earlier group do not start a new one (minimality).
+        """
+        uncovered = set(self.nodes())
+        order = sorted(
+            uncovered,
+            key=lambda f: (-self._access_counts[f], f),
+        )
+        groups: List[List[str]] = []
+        for seed in order:
+            if seed not in uncovered:
+                continue
+            group = self.group_for(seed, size)
+            groups.append(group)
+            uncovered.difference_update(group)
+        return groups
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` with ``weight`` edge attributes.
+
+        Import is deferred so the core has no hard networkx dependency.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self.nodes():
+            graph.add_node(node, accesses=self._access_counts[node])
+        for edge in self.edges():
+            graph.add_edge(edge.source, edge.target, weight=edge.weight)
+        return graph
+
+
+def graph_summary_rows(graph: "RelationshipGraph", top: int = 10) -> List[List[str]]:
+    """Header+rows summarizing a relationship graph for table output.
+
+    Shows the ``top`` strongest edges with their conditional
+    probabilities — the terminal rendering of the paper's Figure 1.
+    """
+    rows: List[List[str]] = [["edge", "observations", "P(succ | file)"]]
+    for edge in graph.edges()[:top]:
+        probability = graph.succession_probability(edge.source, edge.target)
+        rows.append(
+            [
+                f"{edge.source} -> {edge.target}",
+                str(edge.weight),
+                f"{probability:.2f}",
+            ]
+        )
+    return rows
+
+
+def hub_files(graph: "RelationshipGraph", top: int = 5) -> List[Tuple[str, int]]:
+    """Files with the most distinct predecessors — the shared-utility hubs.
+
+    These are the multi-context files (the paper's make/shell example)
+    that force groups to overlap: each appears in many groups because
+    many different files lead into it.
+    """
+    in_degrees = [
+        (file_id, len(predecessors))
+        for file_id, predecessors in graph._predecessors.items()
+    ]
+    in_degrees.sort(key=lambda item: (-item[1], item[0]))
+    return in_degrees[:top]

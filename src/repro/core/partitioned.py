@@ -1,0 +1,158 @@
+"""Attribution-partitioned successor tracking (paper Section 2.2, Q4).
+
+Among the predictive-model questions the paper poses is "do we
+differentiate events based on the identity of the driving client,
+program, user, or process?"  The paper tracks a single global stream;
+this module builds the alternative so the question can be answered
+empirically: a :class:`PartitionedSuccessorTracker` keeps an
+independent successor tracker per attribution value (client id, user
+id...), so one client's interleaved traffic cannot pollute another's
+successor lists.
+
+The trade: per-client lists see clean per-client order (good for the
+``users`` workload, where global interleaving shreds successions) but
+split the observation stream into thinner slices (slower learning,
+more total metadata) and cannot see genuinely cross-client structure.
+:func:`evaluate_partitioned_misses` mirrors the Figure 5 evaluation for
+both designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..traces.events import Trace
+from .successors import SuccessorTracker
+
+
+class PartitionedSuccessorTracker:
+    """One independent successor tracker per attribution value.
+
+    The attribution value (a client id, user id, or process id) selects
+    the partition; an empty attribution falls into the ``""`` partition
+    so unattributed events still learn.
+    """
+
+    def __init__(self, policy: str = "lru", capacity: int = 8):
+        self.policy = policy
+        self.capacity = capacity
+        self._partitions: Dict[str, SuccessorTracker] = {}
+
+    def partition(self, attribution: str) -> SuccessorTracker:
+        """The tracker for one attribution value (created on demand)."""
+        tracker = self._partitions.get(attribution)
+        if tracker is None:
+            tracker = SuccessorTracker(policy=self.policy, capacity=self.capacity)
+            self._partitions[attribution] = tracker
+        return tracker
+
+    def observe(self, attribution: str, file_id: str) -> None:
+        """Record the next access of one attribution's stream."""
+        self.partition(attribution).observe(file_id)
+
+    def observe_trace(self, trace: Trace, by: str = "client_id") -> None:
+        """Feed a trace, partitioning by the named event attribute."""
+        for event in trace:
+            self.observe(getattr(event, by), event.file_id)
+
+    def successors(self, attribution: str, file_id: str) -> List[str]:
+        """Predicted successors within one partition."""
+        tracker = self._partitions.get(attribution)
+        return tracker.successors(file_id) if tracker is not None else []
+
+    def most_likely(self, attribution: str, file_id: str) -> Optional[str]:
+        """Most likely successor within one partition."""
+        tracker = self._partitions.get(attribution)
+        return tracker.most_likely(file_id) if tracker is not None else None
+
+    def partitions(self) -> Iterable[str]:
+        """Attribution values seen so far."""
+        return self._partitions.keys()
+
+    def metadata_entries(self) -> int:
+        """Total successor entries across every partition."""
+        return sum(
+            tracker.metadata_entries() for tracker in self._partitions.values()
+        )
+
+
+@dataclass
+class AttributionComparison:
+    """Miss probabilities of global vs partitioned successor tracking."""
+
+    global_misses: int
+    partitioned_misses: int
+    opportunities: int
+    global_metadata: int
+    partitioned_metadata: int
+
+    @property
+    def global_miss_probability(self) -> float:
+        """Global-stream tracker's Figure 5 metric."""
+        if not self.opportunities:
+            return 0.0
+        return self.global_misses / self.opportunities
+
+    @property
+    def partitioned_miss_probability(self) -> float:
+        """Per-attribution tracker's Figure 5 metric."""
+        if not self.opportunities:
+            return 0.0
+        return self.partitioned_misses / self.opportunities
+
+    @property
+    def improvement(self) -> float:
+        """Fractional miss reduction from partitioning (may be < 0)."""
+        if not self.global_misses:
+            return 0.0
+        return 1.0 - self.partitioned_misses / self.global_misses
+
+
+def evaluate_partitioned_misses(
+    trace: Trace,
+    policy: str = "lru",
+    capacity: int = 8,
+    by: str = "client_id",
+) -> AttributionComparison:
+    """Run the Figure 5 check-then-update evaluation for both designs.
+
+    For each event: the *global* design asks "was this file in its
+    global predecessor's successor list?"; the *partitioned* design
+    asks the same within the event's attribution stream.  Both then
+    update.  Opportunities count transitions after the first event of
+    the relevant stream, evaluated on the same trace so the numbers are
+    directly comparable.
+    """
+    global_tracker = SuccessorTracker(policy=policy, capacity=capacity)
+    partitioned = PartitionedSuccessorTracker(policy=policy, capacity=capacity)
+
+    global_previous: Optional[str] = None
+    partition_previous: Dict[str, str] = {}
+    opportunities = 0
+    global_misses = 0
+    partitioned_misses = 0
+    for event in trace:
+        attribution = getattr(event, by)
+        file_id = event.file_id
+        previous_in_partition = partition_previous.get(attribution)
+        if global_previous is not None and previous_in_partition is not None:
+            opportunities += 1
+            if file_id not in set(global_tracker.successors(global_previous)):
+                global_misses += 1
+            partition_list = partitioned.successors(
+                attribution, previous_in_partition
+            )
+            if file_id not in set(partition_list):
+                partitioned_misses += 1
+        global_tracker.observe(file_id)
+        partitioned.observe(attribution, file_id)
+        global_previous = file_id
+        partition_previous[attribution] = file_id
+    return AttributionComparison(
+        global_misses=global_misses,
+        partitioned_misses=partitioned_misses,
+        opportunities=opportunities,
+        global_metadata=global_tracker.metadata_entries(),
+        partitioned_metadata=partitioned.metadata_entries(),
+    )

@@ -1,0 +1,395 @@
+"""Per-file immediate successor tracking (paper Sections 2.2, 3, 4.4).
+
+The aggregating cache's entire metadata footprint is one short list per
+file: the file's most likely *immediate successors*.  The paper's key
+empirical finding about this metadata (Figure 5) is that **recency beats
+frequency** as the replacement policy for these lists — "pure LRU
+replacement is consistently superior" — and that a handful of entries
+per file closely matches an oracle with unbounded memory.
+
+This module provides the three list policies the paper evaluates (LRU,
+LFU, Oracle), the :class:`SuccessorTracker` that maintains one list per
+file over an access stream, and the Figure 5 evaluator
+:func:`evaluate_successor_misses`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import CacheConfigurationError
+
+#: Sentinel capacity meaning "unbounded" (used by the oracle policy).
+UNBOUNDED = 0
+
+
+class SuccessorList(abc.ABC):
+    """A bounded list of one file's likely immediate successors.
+
+    ``observe`` records that a successor followed the file once more;
+    ``predict`` returns the candidates in most-likely-first order, which
+    is what group construction chains on.
+    """
+
+    policy_name = "successors"
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise CacheConfigurationError(
+                f"successor list capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+
+    @abc.abstractmethod
+    def observe(self, successor: str) -> None:
+        """Record one observed immediate successor."""
+
+    @abc.abstractmethod
+    def predict(self) -> List[str]:
+        """Candidates, most likely first."""
+
+    @abc.abstractmethod
+    def __contains__(self, successor: str) -> bool:
+        """Whether the successor is currently retained."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of retained successors."""
+
+    def most_likely(self) -> Optional[str]:
+        """The single most likely successor, or None when empty."""
+        candidates = self.predict()
+        return candidates[0] if candidates else None
+
+
+class LRUSuccessorList(SuccessorList):
+    """Recency-managed successor list — the paper's recommended policy.
+
+    The most recently observed successor is the most likely; when the
+    list is full the least recently observed entry is evicted.
+    """
+
+    policy_name = "lru"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        if capacity == UNBOUNDED:
+            raise CacheConfigurationError("LRU successor lists must be bounded")
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def observe(self, successor: str) -> None:
+        if successor in self._order:
+            self._order.move_to_end(successor)
+            return
+        if len(self._order) >= self.capacity:
+            self._order.popitem(last=False)
+        self._order[successor] = None
+
+    def predict(self) -> List[str]:
+        return list(reversed(self._order))
+
+    def __contains__(self, successor: str) -> bool:
+        return successor in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class LFUSuccessorList(SuccessorList):
+    """Frequency-managed successor list — the paper's straw man.
+
+    Retains the successors with the highest observation counts; when
+    full, the entry with the lowest count is evicted (oldest first on
+    ties).  A new successor always misses the list's retention if every
+    retained entry already has a higher count — exactly the sluggishness
+    that makes frequency lose to recency on shifting workloads.
+    """
+
+    policy_name = "lfu"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        if capacity == UNBOUNDED:
+            raise CacheConfigurationError("LFU successor lists must be bounded")
+        self._counts: "OrderedDict[str, int]" = OrderedDict()
+
+    def observe(self, successor: str) -> None:
+        if successor in self._counts:
+            self._counts[successor] += 1
+            return
+        if len(self._counts) >= self.capacity:
+            victim = min(self._counts, key=self._counts.get)
+            del self._counts[victim]
+        self._counts[successor] = 1
+
+    def predict(self) -> List[str]:
+        # Most frequent first; insertion order (older first) breaks ties
+        # deterministically.
+        return sorted(self._counts, key=lambda s: -self._counts[s])
+
+    def __contains__(self, successor: str) -> bool:
+        return successor in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def count_of(self, successor: str) -> int:
+        """Observation count of a retained successor (for tests)."""
+        return self._counts[successor]
+
+
+class OracleSuccessorList(SuccessorList):
+    """Unbounded memory of every successor ever observed.
+
+    The paper's upper bound: "an oracle that has perfect knowledge of
+    all previously observed immediate successor events... the best
+    performance possible by any on-line algorithm regardless of
+    state-space limitations."  Its only misses are successors never
+    seen before.
+    """
+
+    policy_name = "oracle"
+
+    def __init__(self, capacity: int = UNBOUNDED):
+        super().__init__(UNBOUNDED)
+        self._counts: Counter = Counter()
+        self._recency: "OrderedDict[str, None]" = OrderedDict()
+
+    def observe(self, successor: str) -> None:
+        self._counts[successor] += 1
+        if successor in self._recency:
+            self._recency.move_to_end(successor)
+        else:
+            self._recency[successor] = None
+
+    def predict(self) -> List[str]:
+        # Most frequent first, recency breaking ties — the best estimate
+        # available to unbounded state.
+        recency_rank = {s: i for i, s in enumerate(self._recency)}
+        return sorted(
+            self._counts, key=lambda s: (-self._counts[s], -recency_rank[s])
+        )
+
+    def __contains__(self, successor: str) -> bool:
+        return successor in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class HybridSuccessorList(SuccessorList):
+    """Exponentially decayed frequency — recency and frequency combined.
+
+    The paper's closing question: "The ideal likelihood estimate may
+    well be based on a combination of recency and frequency, but the
+    exact nature of such an ideal is a subject of future
+    investigation."  This list investigates the classical combination:
+    each successor's score is a frequency count whose past decays
+    geometrically per observation, ``score = 1 + decay * old_score``
+    on re-observation and ``score *= decay`` for everyone else.
+
+    ``decay = 0`` reduces to pure recency (only the latest observation
+    has weight); ``decay -> 1`` approaches pure frequency.  The
+    default 0.8 sits in between.
+    """
+
+    policy_name = "hybrid"
+
+    #: Score decay applied to every retained successor per observation.
+    DEFAULT_DECAY = 0.8
+
+    def __init__(self, capacity: int, decay: float = DEFAULT_DECAY):
+        super().__init__(capacity)
+        if capacity == UNBOUNDED:
+            raise CacheConfigurationError("hybrid successor lists must be bounded")
+        if not 0.0 <= decay < 1.0:
+            raise CacheConfigurationError(
+                f"decay must be in [0, 1), got {decay}"
+            )
+        self.decay = decay
+        self._scores: Dict[str, float] = {}
+        #: Monotone tiebreaker: later observation wins score ties.
+        self._stamp = 0
+        self._last_seen: Dict[str, int] = {}
+
+    def observe(self, successor: str) -> None:
+        self._stamp += 1
+        for retained in self._scores:
+            self._scores[retained] *= self.decay
+        if successor in self._scores:
+            self._scores[successor] += 1.0
+        else:
+            if len(self._scores) >= self.capacity:
+                victim = min(
+                    self._scores,
+                    key=lambda s: (self._scores[s], self._last_seen[s]),
+                )
+                del self._scores[victim]
+                del self._last_seen[victim]
+            self._scores[successor] = 1.0
+        self._last_seen[successor] = self._stamp
+
+    def predict(self) -> List[str]:
+        return sorted(
+            self._scores,
+            key=lambda s: (-self._scores[s], -self._last_seen[s]),
+        )
+
+    def __contains__(self, successor: str) -> bool:
+        return successor in self._scores
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def score_of(self, successor: str) -> float:
+        """Current decayed score of a retained successor (for tests)."""
+        return self._scores[successor]
+
+
+#: Policy-name registry for CLI/sweep construction.
+SUCCESSOR_POLICIES = {
+    "lru": LRUSuccessorList,
+    "lfu": LFUSuccessorList,
+    "hybrid": HybridSuccessorList,
+    "oracle": OracleSuccessorList,
+}
+
+
+def make_successor_list(policy: str, capacity: int) -> SuccessorList:
+    """Construct a successor list by policy name."""
+    try:
+        constructor = SUCCESSOR_POLICIES[policy]
+    except KeyError:
+        names = ", ".join(sorted(SUCCESSOR_POLICIES))
+        raise KeyError(f"unknown successor policy {policy!r} (expected: {names})")
+    return constructor(capacity)
+
+
+class SuccessorTracker:
+    """Maintains one successor list per file over an access stream.
+
+    This is the server's relationship metadata (Figure 2): "Dynamic
+    group construction is based on simple per-file metadata, consisting
+    of immediate successor lists."  Feed it the access sequence with
+    :meth:`observe` (it remembers the previous access) or
+    :meth:`observe_transition` (explicit pairs).
+    """
+
+    def __init__(self, policy: str = "lru", capacity: int = 8):
+        if policy not in SUCCESSOR_POLICIES:
+            names = ", ".join(sorted(SUCCESSOR_POLICIES))
+            raise KeyError(f"unknown successor policy {policy!r} (expected: {names})")
+        self.policy = policy
+        self.capacity = capacity
+        self._lists: Dict[str, SuccessorList] = {}
+        self._previous: Optional[str] = None
+
+    def observe(self, file_id: str) -> None:
+        """Record the next access in the stream."""
+        if self._previous is not None:
+            self.observe_transition(self._previous, file_id)
+        self._previous = file_id
+
+    def observe_transition(self, predecessor: str, successor: str) -> None:
+        """Record that ``successor`` immediately followed ``predecessor``."""
+        slist = self._lists.get(predecessor)
+        if slist is None:
+            slist = make_successor_list(self.policy, self.capacity)
+            self._lists[predecessor] = slist
+        slist.observe(successor)
+
+    def observe_sequence(self, sequence: Iterable[str]) -> None:
+        """Feed a whole access sequence through :meth:`observe`."""
+        for file_id in sequence:
+            self.observe(file_id)
+
+    def reset_stream(self) -> None:
+        """Forget the previous access (e.g. across trace boundaries)."""
+        self._previous = None
+
+    def successors(self, file_id: str) -> List[str]:
+        """Predicted successors of a file, most likely first."""
+        slist = self._lists.get(file_id)
+        return slist.predict() if slist is not None else []
+
+    def most_likely(self, file_id: str) -> Optional[str]:
+        """The most likely immediate successor, or None if unknown."""
+        slist = self._lists.get(file_id)
+        return slist.most_likely() if slist is not None else None
+
+    def has_metadata_for(self, file_id: str) -> bool:
+        """Whether any successor has ever been observed for the file."""
+        return file_id in self._lists
+
+    def tracked_files(self) -> Iterator[str]:
+        """Files that currently carry successor metadata."""
+        return iter(self._lists)
+
+    def metadata_entries(self) -> int:
+        """Total successor entries retained across all lists.
+
+        The aggregating cache's whole metadata budget, in entries —
+        useful for the paper's "minimal metadata" claims.
+        """
+        return sum(len(slist) for slist in self._lists.values())
+
+
+@dataclass
+class SuccessorMissReport:
+    """Outcome of replaying a stream against successor lists (Figure 5).
+
+    ``opportunities`` counts every transition whose predecessor could in
+    principle be predicted (i.e., every consecutive pair); ``misses``
+    counts the transitions whose actual successor was absent from the
+    predecessor's list at prediction time.  First-ever successors are
+    misses for every policy, including the oracle — "an on-line
+    predictive algorithm cannot be expected to predict a symbol that it
+    has never encountered before" (Section 4.5).
+    """
+
+    policy: str
+    capacity: int
+    opportunities: int
+    misses: int
+
+    @property
+    def miss_probability(self) -> float:
+        """P(a future successor was not retained), the Figure 5 y-axis."""
+        if not self.opportunities:
+            return 0.0
+        return self.misses / self.opportunities
+
+
+def evaluate_successor_misses(
+    sequence: Sequence[str], policy: str, capacity: int
+) -> SuccessorMissReport:
+    """Replay a sequence, measuring successor-list miss probability.
+
+    For each consecutive pair ``(f, s)``: check whether ``s`` is already
+    in ``f``'s list (miss if not), *then* observe the transition.  The
+    check-then-update order is what makes this a fair online
+    evaluation.  Weighting by file access frequency (Equation 2's
+    weighting) happens naturally because every occurrence of ``f``
+    contributes one trial.
+    """
+    tracker = SuccessorTracker(policy=policy, capacity=capacity)
+    opportunities = 0
+    misses = 0
+    previous: Optional[str] = None
+    for file_id in sequence:
+        if previous is not None:
+            opportunities += 1
+            slist = tracker._lists.get(previous)
+            if slist is None or file_id not in slist:
+                misses += 1
+            tracker.observe_transition(previous, file_id)
+        previous = file_id
+    return SuccessorMissReport(
+        policy=policy,
+        capacity=capacity,
+        opportunities=opportunities,
+        misses=misses,
+    )

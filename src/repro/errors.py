@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the simulator can catch one type at the boundary.  The
+subclasses mirror the package layout: trace parsing, workload
+construction, cache configuration, and simulation driving each get their
+own class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class TraceError(ReproError):
+    """A trace could not be read, written, or interpreted."""
+
+
+class TraceFormatError(TraceError):
+    """A trace line or record did not conform to the expected format.
+
+    Carries the offending line number (1-based) and the raw text when
+    they are available, which makes parser failures actionable.
+    """
+
+    def __init__(self, message: str, *, line_number: int = 0, text: str = ""):
+        super().__init__(message)
+        self.line_number = line_number
+        self.text = text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.line_number:
+            return f"line {self.line_number}: {base}"
+        return base
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was configured with invalid parameters."""
+
+
+class CacheConfigurationError(ReproError):
+    """A cache was constructed with invalid parameters (e.g. capacity 0)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition was invoked with unusable parameters."""
+
+
+class AnalysisError(ReproError):
+    """Analysis utilities received malformed series or report inputs."""

@@ -1,0 +1,73 @@
+"""Per-figure experiment definitions.
+
+One module per paper figure; each ``run_*`` function returns
+:class:`~repro.analysis.series.FigureData` (or a report object for the
+headline claims).  The CLI, the examples, and the benchmark harness all
+call these — there is exactly one definition of every experiment.
+"""
+
+from .common import (
+    DEFAULT_EVENTS,
+    DEFAULT_SUCCESSOR_CAPACITY,
+    FAST_EVENTS,
+    FIG3_CAPACITIES,
+    FIG3_GROUP_SIZES,
+    FIG4_FILTER_CAPACITIES,
+    FIG4_SERVER_CAPACITY,
+    FIG5_LIST_SIZES,
+    FIG7_LENGTHS,
+    FIG8_FILTERS,
+    workload_sequence,
+    workload_trace,
+)
+from .extensions import (
+    run_adaptation,
+    run_attribution,
+    run_cooperation,
+    run_hoarding,
+    run_metadata_budget,
+    run_peer_caching,
+    run_placement,
+    run_server_capacity,
+)
+from .fig3 import demand_fetches, fetch_reduction, run_fig3
+from .fig4 import improvement_over_lru, make_server_cache, run_fig4, server_hit_rate
+from .fig5 import run_fig5
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .headline import HeadlineReport, run_headline
+
+__all__ = [
+    "DEFAULT_EVENTS",
+    "DEFAULT_SUCCESSOR_CAPACITY",
+    "FAST_EVENTS",
+    "FIG3_CAPACITIES",
+    "FIG3_GROUP_SIZES",
+    "FIG4_FILTER_CAPACITIES",
+    "FIG4_SERVER_CAPACITY",
+    "FIG5_LIST_SIZES",
+    "FIG7_LENGTHS",
+    "FIG8_FILTERS",
+    "HeadlineReport",
+    "demand_fetches",
+    "fetch_reduction",
+    "improvement_over_lru",
+    "make_server_cache",
+    "run_adaptation",
+    "run_attribution",
+    "run_cooperation",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig7",
+    "run_fig8",
+    "run_hoarding",
+    "run_metadata_budget",
+    "run_headline",
+    "run_peer_caching",
+    "run_placement",
+    "run_server_capacity",
+    "server_hit_rate",
+    "workload_sequence",
+    "workload_trace",
+]

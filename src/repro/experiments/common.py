@@ -1,0 +1,64 @@
+"""Shared infrastructure for figure-reproduction experiments.
+
+Every experiment replays one of the four synthetic paper workloads many
+times with different parameters; this module centralizes workload
+materialization (memoized, since trace generation dominates short
+sweeps), default sizes, and the parameter ranges the paper plots.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..traces.events import Trace
+from ..workloads.synthetic import WORKLOADS, make_workload
+
+#: Default trace length for CLI / full experiment runs.
+DEFAULT_EVENTS = 60_000
+#: Trace length used by the benchmark harness (shape-preserving, faster).
+FAST_EVENTS = 20_000
+
+#: The paper's parameter ranges.
+FIG3_CAPACITIES: Tuple[int, ...] = tuple(range(100, 900, 100))
+FIG3_GROUP_SIZES: Tuple[int, ...] = (1, 2, 3, 5, 7, 10)
+FIG4_FILTER_CAPACITIES: Tuple[int, ...] = tuple(range(50, 550, 50))
+FIG4_SERVER_CAPACITY = 300
+FIG5_LIST_SIZES: Tuple[int, ...] = tuple(range(1, 11))
+FIG7_LENGTHS: Tuple[int, ...] = tuple(range(1, 21))
+FIG8_FILTERS: Tuple[int, ...] = (1, 10, 50, 100, 500, 1000)
+
+#: Successor-list capacity used by the aggregating caches throughout
+#: (the paper: "only a very small number of successors are needed").
+DEFAULT_SUCCESSOR_CAPACITY = 8
+
+
+def check_workload(name: str) -> str:
+    """Validate a workload name, raising with the valid choices."""
+    if name not in WORKLOADS:
+        names = ", ".join(sorted(WORKLOADS))
+        raise ExperimentError(
+            f"unknown workload {name!r} (expected one of: {names})"
+        )
+    return name
+
+
+@lru_cache(maxsize=32)
+def workload_trace(name: str, events: int, seed: Optional[int] = None) -> Trace:
+    """Materialize (and memoize) one paper workload trace.
+
+    Memoization matters: a figure sweep replays the same trace dozens of
+    times, and regeneration would dominate the run.  Callers must treat
+    the returned trace as immutable.
+    """
+    check_workload(name)
+    return make_workload(name, events, seed)
+
+
+@lru_cache(maxsize=32)
+def workload_sequence(
+    name: str, events: int, seed: Optional[int] = None
+) -> Tuple[str, ...]:
+    """The memoized access sequence (file ids) of one paper workload."""
+    return tuple(workload_trace(name, events, seed).file_ids())

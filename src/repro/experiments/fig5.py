@@ -1,0 +1,60 @@
+"""Figure 5 — successor-list replacement: recency vs frequency vs oracle.
+
+"Each line plots the likelihood of a successor replacement policy
+failing to keep a future successor within the per-file successor
+lists... as a function of the number of successors, i.e., the capacity
+of the per-file successor lists."
+
+Expected shape: LRU below LFU at every list size ("pure LRU replacement
+is consistently superior"), both converging toward the oracle — whose
+line is flat, since unbounded memory only misses never-before-seen
+successors — within a handful of entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.series import FigureData
+from ..core.successors import evaluate_successor_misses
+from ..errors import ExperimentError
+from .common import (
+    DEFAULT_EVENTS,
+    FIG5_LIST_SIZES,
+    check_workload,
+    workload_sequence,
+)
+
+#: Figure 5's legend order.
+DEFAULT_POLICIES = ("oracle", "lru", "lfu")
+
+
+def run_fig5(
+    workload: str = "workstation",
+    events: int = DEFAULT_EVENTS,
+    list_sizes: Sequence[int] = FIG5_LIST_SIZES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    seed: Optional[int] = None,
+) -> FigureData:
+    """Reproduce one Figure 5 panel for the named workload."""
+    check_workload(workload)
+    if not list_sizes or not policies:
+        raise ExperimentError("list_sizes and policies must be non-empty")
+    sequence = workload_sequence(workload, events, seed)
+    figure = FigureData(
+        figure_id=f"fig5-{workload}",
+        title=(
+            f"Figure 5 ({workload}): successor-list miss probability "
+            f"vs list capacity"
+        ),
+        xlabel="Number of Successors",
+        ylabel="Probability of Missing a Future Successor",
+        notes=f"{events} events; check-then-update online evaluation",
+    )
+    for policy in policies:
+        label = {"oracle": "Oracle", "lru": "LRU", "lfu": "LFU"}.get(policy, policy)
+        series = figure.add_series(label)
+        for size in list_sizes:
+            report = evaluate_successor_misses(sequence, policy, size)
+            series.add(size, report.miss_probability)
+    return figure

@@ -1,0 +1,29 @@
+"""Mobile file hoarding: grouping applied to disconnected operation.
+
+The paper's second Section 6 future-work direction: fill a bounded
+hoard before disconnection so offline work doesn't miss.  Group-closure
+hoarding expands recent seeds through their dynamic groups, capturing
+whole task working sets.
+"""
+
+from .hoard import (
+    HOARD_POLICIES,
+    DisconnectionReport,
+    FrequencyHoard,
+    GroupClosureHoard,
+    HoardPolicy,
+    RecencyHoard,
+    compare_hoards,
+    simulate_disconnection,
+)
+
+__all__ = [
+    "DisconnectionReport",
+    "FrequencyHoard",
+    "GroupClosureHoard",
+    "HOARD_POLICIES",
+    "HoardPolicy",
+    "RecencyHoard",
+    "compare_hoards",
+    "simulate_disconnection",
+]

@@ -1,0 +1,218 @@
+"""Mobile file hoarding with dynamic groups.
+
+The paper closes intending "to investigate the effectiveness of our
+model for improving mobile file hoarding applications" (Section 6),
+citing Seer (Kuenning & Popek) and Coda's disconnected operation.  The
+problem: before a laptop disconnects, fill a bounded *hoard* with the
+files the user will need offline; every miss during disconnection is a
+hard failure, not a latency blip.
+
+This module implements the study.  A :class:`HoardPolicy` selects up to
+``budget`` files given the access history up to the disconnection
+point; :func:`simulate_disconnection` then measures the miss rate over
+the disconnected window.  Policies:
+
+* :class:`RecencyHoard` — the most recently used files (what an LRU
+  cache would happen to contain).
+* :class:`FrequencyHoard` — the most frequently used files.
+* :class:`GroupClosureHoard` — the paper's approach: seed with the most
+  recently used files, then expand each seed through its dynamic group
+  (transitive successor chaining), so *complete task working sets* are
+  hoarded rather than whichever members happened to be touched last.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from ..core.grouping import GroupBuilder
+from ..core.successors import SuccessorTracker
+from ..errors import SimulationError
+
+
+@dataclass
+class DisconnectionReport:
+    """Outcome of one disconnection simulation."""
+
+    policy: str
+    budget: int
+    hoard_size: int
+    offline_accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of offline accesses not served from the hoard."""
+        if not self.offline_accesses:
+            return 0.0
+        return self.misses / self.offline_accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of offline accesses served from the hoard."""
+        return 1.0 - self.miss_rate if self.offline_accesses else 0.0
+
+
+class HoardPolicy(abc.ABC):
+    """Selects the files to hoard from the pre-disconnection history."""
+
+    name = "hoard"
+
+    @abc.abstractmethod
+    def select(self, history: Sequence[str], budget: int) -> List[str]:
+        """Up to ``budget`` file identifiers to hoard."""
+
+
+class RecencyHoard(HoardPolicy):
+    """Hoard the ``budget`` most recently accessed files."""
+
+    name = "recency"
+
+    def select(self, history: Sequence[str], budget: int) -> List[str]:
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for file_id in history:
+            if file_id in seen:
+                seen.move_to_end(file_id)
+            else:
+                seen[file_id] = None
+        most_recent_first = list(reversed(seen))
+        return most_recent_first[:budget]
+
+
+class FrequencyHoard(HoardPolicy):
+    """Hoard the ``budget`` most frequently accessed files."""
+
+    name = "frequency"
+
+    def select(self, history: Sequence[str], budget: int) -> List[str]:
+        counts = Counter(history)
+        ranked = sorted(counts, key=lambda f: (-counts[f], f))
+        return ranked[:budget]
+
+
+class GroupClosureHoard(HoardPolicy):
+    """Hoard recent seeds expanded through their dynamic groups.
+
+    Walks the recency list; for each seed not yet hoarded, adds the
+    seed's whole group (size ``group_size``, built from successor
+    metadata over the history).  Stops when the budget is exhausted.
+    The closure pulls in group members the user has not touched
+    *recently* but will need as soon as the task resumes offline —
+    exactly what per-file recency misses.
+
+    ``group_size`` is the closure depth and should approximate the
+    workload's working-set (chain) size; with small groups the closure
+    degenerates to plain recency.  Closure pays off for short,
+    task-continuation disconnections on application-driven workloads
+    where the budget is tighter than the working set; for long
+    disconnections on interactive workloads, frequency hoarding tends
+    to win (see EXPERIMENTS.md).
+    """
+
+    name = "group-closure"
+
+    def __init__(self, group_size: int = 20, successor_capacity: int = 8):
+        if group_size <= 0:
+            raise SimulationError(f"group_size must be positive, got {group_size}")
+        self.group_size = group_size
+        self.successor_capacity = successor_capacity
+
+    def select(self, history: Sequence[str], budget: int) -> List[str]:
+        tracker = SuccessorTracker(policy="lru", capacity=self.successor_capacity)
+        tracker.observe_sequence(history)
+        builder = GroupBuilder(tracker, self.group_size)
+        seeds = RecencyHoard().select(history, budget)
+        hoard: List[str] = []
+        hoarded: Set[str] = set()
+        for seed in seeds:
+            if len(hoard) >= budget:
+                break
+            for member in builder.build(seed):
+                if member not in hoarded:
+                    hoarded.add(member)
+                    hoard.append(member)
+                    if len(hoard) >= budget:
+                        break
+        return hoard
+
+
+#: Registry for experiment/bench/CLI construction.
+HOARD_POLICIES = {
+    "recency": RecencyHoard,
+    "frequency": FrequencyHoard,
+    "group-closure": GroupClosureHoard,
+}
+
+
+def simulate_disconnection(
+    sequence: Sequence[str],
+    disconnect_at: int,
+    budget: int,
+    policy: HoardPolicy,
+) -> DisconnectionReport:
+    """Fill a hoard at ``disconnect_at``; measure offline misses after it.
+
+    ``sequence[:disconnect_at]`` is the observable history;
+    ``sequence[disconnect_at:]`` is replayed disconnected.  Files
+    created offline (never seen in the history) are counted as local
+    creations, not hoard misses — no policy could have hoarded them.
+    """
+    if not 0 < disconnect_at <= len(sequence):
+        raise SimulationError(
+            f"disconnect_at must fall inside the sequence "
+            f"(got {disconnect_at} of {len(sequence)})"
+        )
+    if budget <= 0:
+        raise SimulationError(f"budget must be positive, got {budget}")
+    history = sequence[:disconnect_at]
+    offline = sequence[disconnect_at:]
+    hoard = set(policy.select(history, budget))
+    if len(hoard) > budget:
+        raise SimulationError(
+            f"policy {policy.name!r} exceeded its budget: "
+            f"{len(hoard)} > {budget}"
+        )
+    known = set(history)
+    local_creations: Set[str] = set()
+    accesses = 0
+    misses = 0
+    for file_id in offline:
+        if file_id not in known:
+            # Created offline: it lives on the local disk from then on,
+            # so neither this nor later accesses can miss the hoard.
+            local_creations.add(file_id)
+            known.add(file_id)
+            continue
+        if file_id in local_creations:
+            continue
+        accesses += 1
+        if file_id not in hoard:
+            misses += 1
+    return DisconnectionReport(
+        policy=policy.name,
+        budget=budget,
+        hoard_size=len(hoard),
+        offline_accesses=accesses,
+        misses=misses,
+    )
+
+
+def compare_hoards(
+    sequence: Sequence[str],
+    disconnect_at: int,
+    budget: int,
+    group_size: int = 20,
+) -> List[DisconnectionReport]:
+    """Run all three policies on one disconnection scenario."""
+    policies: List[HoardPolicy] = [
+        RecencyHoard(),
+        FrequencyHoard(),
+        GroupClosureHoard(group_size=group_size),
+    ]
+    return [
+        simulate_disconnection(sequence, disconnect_at, budget, policy)
+        for policy in policies
+    ]

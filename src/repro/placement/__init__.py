@@ -1,0 +1,33 @@
+"""Placement optimization: grouping applied to data layout.
+
+The paper's Section 6 future-work direction, built out: a linear-seek
+disk model, classical baselines (name order, organ-pipe frequency
+placement), and group-based collocation in both the disjoint form
+traditional placement requires and the overlapping/replicated form the
+paper argues for — with the space overhead of overlap measured.
+"""
+
+from .disk import DiskLayout, SeekStats, layout_from_order, organ_pipe_order
+from .strategies import (
+    PLACEMENTS,
+    compare_placements,
+    frequency_layout,
+    group_layout,
+    name_order_layout,
+    random_layout,
+    replicated_group_layout,
+)
+
+__all__ = [
+    "DiskLayout",
+    "PLACEMENTS",
+    "SeekStats",
+    "compare_placements",
+    "frequency_layout",
+    "group_layout",
+    "layout_from_order",
+    "name_order_layout",
+    "organ_pipe_order",
+    "random_layout",
+    "replicated_group_layout",
+]

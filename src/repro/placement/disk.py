@@ -1,0 +1,172 @@
+"""A one-dimensional disk model for placement studies.
+
+The paper's Section 6 names data placement as the next application of
+grouping: "To apply grouping for general placement problems, we need
+further work on the process of forming groups of arbitrary size, and an
+analysis of the effects of group formation on storage requirements."
+This package builds that study.
+
+The device model follows the classical placement literature the paper
+cites (Wong; Staelin & Garcia-Molina): a linear address space of
+equal-sized file slots, a single head, and a cost per request equal to
+the *seek distance* — the absolute difference between the head's
+current slot and the requested file's slot.  Rotational/ transfer
+costs are constant per whole-file read and therefore ignored: layouts
+only differ in movement.
+
+Replicated placement (a file resident in several slots, which is what
+overlapping groups produce) is supported directly: a request seeks to
+the *nearest* replica, and the space overhead is accounted.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass
+class SeekStats:
+    """Accumulated head-movement accounting for one replay."""
+
+    requests: int = 0
+    total_distance: int = 0
+    max_distance: int = 0
+
+    @property
+    def mean_distance(self) -> float:
+        """Average slots traversed per request (the figure of merit)."""
+        if not self.requests:
+            return 0.0
+        return self.total_distance / self.requests
+
+    def record(self, distance: int) -> None:
+        """Account one request's seek."""
+        self.requests += 1
+        self.total_distance += distance
+        if distance > self.max_distance:
+            self.max_distance = distance
+
+
+class DiskLayout:
+    """An assignment of files to slots on the linear device.
+
+    A file may occupy several slots (replication); every file in the
+    replayed trace must occupy at least one, or the replay raises
+    :class:`SimulationError` naming the missing file.
+    """
+
+    def __init__(self, slots: Sequence[Optional[str]]):
+        self.slots: List[Optional[str]] = list(slots)
+        self._positions: Dict[str, List[int]] = {}
+        for index, file_id in enumerate(self.slots):
+            if file_id is not None:
+                self._positions.setdefault(file_id, []).append(index)
+        for positions in self._positions.values():
+            positions.sort()
+
+    @property
+    def capacity(self) -> int:
+        """Total slots on the device."""
+        return len(self.slots)
+
+    @property
+    def used_slots(self) -> int:
+        """Slots holding a file (replicas each count once)."""
+        return sum(1 for slot in self.slots if slot is not None)
+
+    def files(self) -> Iterable[str]:
+        """Distinct files placed on the device."""
+        return self._positions.keys()
+
+    def replica_count(self, file_id: str) -> int:
+        """Number of slots holding ``file_id`` (0 when absent)."""
+        return len(self._positions.get(file_id, ()))
+
+    def replication_overhead(self) -> float:
+        """Extra slots consumed by replication, as a fraction of files.
+
+        0.0 means every file has exactly one copy; 0.5 means half again
+        as many slots as distinct files — the space-utilization cost the
+        paper warns group overlap can impose on placement.
+        """
+        distinct = len(self._positions)
+        if not distinct:
+            return 0.0
+        return (self.used_slots - distinct) / distinct
+
+    def nearest_position(self, file_id: str, head: int) -> int:
+        """The replica slot of ``file_id`` closest to ``head``.
+
+        Raises :class:`SimulationError` when the file is not placed.
+        """
+        positions = self._positions.get(file_id)
+        if not positions:
+            raise SimulationError(f"file {file_id!r} is not placed on the disk")
+        index = bisect.bisect_left(positions, head)
+        candidates = []
+        if index < len(positions):
+            candidates.append(positions[index])
+        if index > 0:
+            candidates.append(positions[index - 1])
+        return min(candidates, key=lambda position: abs(position - head))
+
+    def replay(self, sequence: Iterable[str], start: int = 0) -> SeekStats:
+        """Serve a request sequence, returning the seek accounting.
+
+        Every request is a demand read of a whole file: the head seeks
+        to the nearest replica and stays there.
+        """
+        stats = SeekStats()
+        head = start
+        for file_id in sequence:
+            position = self.nearest_position(file_id, head)
+            stats.record(abs(position - head))
+            head = position
+        return stats
+
+
+def layout_from_order(order: Sequence[str], capacity: Optional[int] = None) -> DiskLayout:
+    """Build a layout placing ``order`` contiguously from slot 0.
+
+    Duplicate occurrences in ``order`` become replicas.  ``capacity``
+    pads the device with empty slots (useful to model partially filled
+    disks); it must not be smaller than the order's length.
+    """
+    if capacity is not None and capacity < len(order):
+        raise SimulationError(
+            f"capacity {capacity} cannot hold {len(order)} placements"
+        )
+    slots: List[Optional[str]] = list(order)
+    if capacity is not None:
+        slots.extend([None] * (capacity - len(order)))
+    return DiskLayout(slots)
+
+
+def organ_pipe_order(popularity: Mapping[str, int]) -> List[str]:
+    """The classical organ-pipe arrangement (Wong, 1980).
+
+    The hottest file sits in the middle of the device, the next two on
+    either side, and so on outward — optimal for independent requests
+    under a linear seek model.  This is the strongest frequency-based
+    (independence-assuming) baseline for group placement to beat.
+    """
+    ranked = sorted(popularity.items(), key=lambda item: (-item[1], item[0]))
+    size = len(ranked)
+    arrangement: List[Optional[str]] = [None] * size
+    middle = (size - 1) // 2
+
+    def positions_outward():
+        yield middle
+        for offset in range(1, size):
+            if middle + offset < size:
+                yield middle + offset
+            if middle - offset >= 0:
+                yield middle - offset
+
+    for (file_id, _count), position in zip(ranked, positions_outward()):
+        arrangement[position] = file_id
+    return [file_id for file_id in arrangement if file_id is not None]

@@ -1,0 +1,40 @@
+"""Simulation engine: replay driver, system topology, costs, metrics, sweeps."""
+
+from .costs import (
+    CostModel,
+    InstrumentedAggregatingCache,
+    PrefetchOutcome,
+    PricedComparison,
+    price_replay,
+)
+from .cooperative import PeerMetrics, PeerNetwork
+from .engine import DistributedFileSystem, Store, SystemMetrics, replay_cache
+from .metrics import (
+    IntervalRecorder,
+    IntervalSample,
+    steady_state_hit_rate,
+    warmup_split,
+)
+from .sweep import Record, SweepGrid, pivot, run_sweep
+
+__all__ = [
+    "CostModel",
+    "DistributedFileSystem",
+    "InstrumentedAggregatingCache",
+    "PeerMetrics",
+    "PeerNetwork",
+    "PrefetchOutcome",
+    "PricedComparison",
+    "price_replay",
+    "IntervalRecorder",
+    "IntervalSample",
+    "Record",
+    "Store",
+    "SweepGrid",
+    "SystemMetrics",
+    "pivot",
+    "replay_cache",
+    "run_sweep",
+    "steady_state_hit_rate",
+    "warmup_split",
+]

@@ -1,0 +1,248 @@
+"""Distributed file system replay engine (paper Figure 2).
+
+Models the topology the paper draws: client machines with local cache
+managers, a remote file server with relationship metadata and its own
+cache, and server storage behind it.  Requests flow client cache →
+server cache → store; group retrieval happens on the client-miss path,
+with companion files riding the single demand request.
+
+The engine is a *replay* simulator: it consumes an access sequence and
+counts — no clocks, no queueing — because every metric the paper
+reports (demand fetches, hit rates) is a counting metric and the paper
+explicitly rejects timing as a modelling input (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..caching.base import Cache, CacheStats
+from ..caching.lru import LRUCache
+from ..core.grouping import GroupBuilder
+from ..core.successors import SuccessorTracker
+from ..errors import SimulationError
+from ..traces.events import Trace
+
+
+class Store:
+    """Server backing storage: always has every file; counts retrievals.
+
+    ``fetches`` counts files shipped off the storage device — the
+    ultimate cost grouping tries to amortize into fewer, larger
+    retrievals.
+    """
+
+    def __init__(self):
+        self.fetches = 0
+        self.group_fetches = 0
+
+    def fetch(self, file_id: str) -> str:
+        """Retrieve one file."""
+        self.fetches += 1
+        return file_id
+
+    def fetch_group(self, file_ids: Sequence[str]) -> List[str]:
+        """Retrieve a group of files with one storage operation."""
+        self.group_fetches += 1
+        self.fetches += len(file_ids)
+        return list(file_ids)
+
+
+@dataclass
+class SystemMetrics:
+    """End-of-run accounting for a :class:`DistributedFileSystem`."""
+
+    client_stats: Dict[str, CacheStats]
+    server_stats: CacheStats
+    store_fetches: int
+    store_group_fetches: int
+    remote_requests: int
+    metadata_entries: int
+    invalidations: int = 0
+
+    @property
+    def total_client_accesses(self) -> int:
+        """Demand accesses summed across clients."""
+        return sum(stats.accesses for stats in self.client_stats.values())
+
+    @property
+    def mean_client_hit_rate(self) -> float:
+        """Access-weighted client hit rate across all clients."""
+        accesses = self.total_client_accesses
+        if not accesses:
+            return 0.0
+        hits = sum(stats.hits for stats in self.client_stats.values())
+        return hits / accesses
+
+
+class DistributedFileSystem:
+    """Clients with aggregating caches in front of a caching file server.
+
+    Parameters
+    ----------
+    client_capacity:
+        Capacity (files) of each client's cache.
+    server_capacity:
+        Capacity of the server's own cache; ``0`` disables it (every
+        server request goes to the store).
+    group_size:
+        Best-effort group size ``g``; 1 reduces the system to plain
+        demand-fetch LRU everywhere.
+    cooperative:
+        When True (the Figure 2 design), clients piggy-back their full
+        access stream to the server, so relationship metadata sees
+        unfiltered behaviour.  When False (the Section 4.3 scenario),
+        the server learns only from the requests that reach it.
+    successor_policy / successor_capacity:
+        Server-side successor list management.
+    invalidate_on_write:
+        When True, mutation events are treated as AFS/Coda-style
+        callback breaks: a WRITE by one client invalidates every other
+        client's cached copy, and a DELETE invalidates the file
+        everywhere (clients and server cache).  Grouping's group
+        overlaps impose no extra consistency burden here — exactly the
+        paper's Section 2.1 point — because invalidation is per file,
+        not per group.
+    """
+
+    def __init__(
+        self,
+        client_capacity: int,
+        server_capacity: int = 0,
+        group_size: int = 5,
+        cooperative: bool = True,
+        successor_policy: str = "lru",
+        successor_capacity: int = 8,
+        invalidate_on_write: bool = False,
+    ):
+        self.tracker = SuccessorTracker(
+            policy=successor_policy, capacity=successor_capacity
+        )
+        self.builder = GroupBuilder(self.tracker, group_size)
+        self.group_size = group_size
+        self.cooperative = cooperative
+        self.client_capacity = client_capacity
+        self.server_cache: Optional[LRUCache] = (
+            LRUCache(server_capacity) if server_capacity > 0 else None
+        )
+        self.store = Store()
+        self.clients: Dict[str, LRUCache] = {}
+        self.remote_requests = 0
+        self.invalidate_on_write = invalidate_on_write
+        self.invalidations = 0
+        self._server_stats = CacheStats()
+
+    def _client_cache(self, client_id: str) -> LRUCache:
+        cache = self.clients.get(client_id)
+        if cache is None:
+            cache = LRUCache(self.client_capacity)
+            self.clients[client_id] = cache
+        return cache
+
+    def access(self, client_id: str, file_id: str) -> bool:
+        """One file open from one client; returns True on client hit."""
+        if self.cooperative:
+            self.tracker.observe(file_id)
+        cache = self._client_cache(client_id)
+        if cache.access(file_id):
+            return True
+
+        # Client miss: one remote request retrieves the whole group.
+        self.remote_requests += 1
+        if not self.cooperative:
+            self.tracker.observe(file_id)
+        group = self.builder.build(file_id)
+
+        # Serve each group member from the server cache when resident,
+        # otherwise stage it from the store (and cache it server-side).
+        to_ship: List[str] = list(group)
+        if self.server_cache is not None:
+            if self.server_cache.access(file_id):
+                self._server_stats.hits += 1
+            else:
+                self._server_stats.misses += 1
+                self.store.fetch(file_id)
+            companions = [m for m in to_ship if m != file_id]
+            for member in companions:
+                if not self.server_cache.probe(member):
+                    self.store.fetch(member)
+            self.server_cache.install_group_at_tail(companions)
+        else:
+            for member in to_ship:
+                self.store.fetch(member)
+
+        # Client placement: the demanded file is already at the MRU head
+        # (admitted by the miss above); companions append at the tail as
+        # one batch.
+        cache.install_group_at_tail(
+            [member for member in to_ship if member != file_id]
+        )
+        return False
+
+    def process_mutation(self, client_id: str, event) -> None:
+        """Apply one mutation event's consistency effects.
+
+        A WRITE breaks other clients' callbacks on the file; a DELETE
+        removes the file everywhere.  The writing client keeps (or, for
+        DELETE, also loses) its copy.
+        """
+        from ..traces.events import EventKind
+
+        if event.kind is EventKind.DELETE:
+            for cache in self.clients.values():
+                if cache.invalidate(event.file_id):
+                    self.invalidations += 1
+            if self.server_cache is not None:
+                if self.server_cache.invalidate(event.file_id):
+                    self.invalidations += 1
+            return
+        for other_id, cache in self.clients.items():
+            if other_id != client_id and cache.invalidate(event.file_id):
+                self.invalidations += 1
+
+    def replay(self, trace: Trace) -> SystemMetrics:
+        """Drive the system with a trace (events carry client ids).
+
+        Every event is a demand access to its file (a write still needs
+        the file resident); with ``invalidate_on_write`` the mutation
+        side effects are applied after the access.
+        """
+        for event in trace:
+            client = event.client_id or "client00"
+            self.access(client, event.file_id)
+            if self.invalidate_on_write and event.is_mutation:
+                self.process_mutation(client, event)
+        return self.metrics()
+
+    def metrics(self) -> SystemMetrics:
+        """Snapshot system-wide accounting."""
+        return SystemMetrics(
+            client_stats={
+                client_id: cache.stats.snapshot()
+                for client_id, cache in self.clients.items()
+            },
+            server_stats=self._server_stats.snapshot(),
+            store_fetches=self.store.fetches,
+            store_group_fetches=self.store.group_fetches,
+            remote_requests=self.remote_requests,
+            metadata_entries=self.tracker.metadata_entries(),
+            invalidations=self.invalidations,
+        )
+
+
+def replay_cache(cache, sequence: Iterable[str]) -> CacheStats:
+    """Drive any object with an ``access(key)`` method; return its stats.
+
+    The universal single-cache replay loop used by experiments: works
+    for plain :class:`~repro.caching.base.Cache` policies, the
+    aggregating caches, and :class:`~repro.core.predictors.PrefetchingCache`.
+    """
+    for key in sequence:
+        cache.access(key)
+    stats = getattr(cache, "stats", None)
+    if stats is None:
+        raise SimulationError(
+            f"{type(cache).__name__} exposes no .stats after replay"
+        )
+    return stats.snapshot()

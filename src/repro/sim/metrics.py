@@ -1,0 +1,133 @@
+"""Time-series metric collection over replay runs.
+
+Counting totals answer "how many fetches overall"; interval recorders
+answer "how does the hit rate evolve" — warm-up versus steady state,
+phase-change behaviour, adaptation speed after a workload shift.  The
+failure-injection tests and the extension benches rely on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..caching.base import CacheStats
+from ..errors import SimulationError
+
+
+@dataclass
+class IntervalSample:
+    """Statistics for one interval of a replay run."""
+
+    start_event: int
+    end_event: int
+    hits: int
+    misses: int
+
+    @property
+    def accesses(self) -> int:
+        """Demand accesses within this interval."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate within this interval only."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class IntervalRecorder:
+    """Captures per-interval hit/miss deltas while replaying a stream.
+
+    Wraps any target with ``access(key) -> bool`` and a ``stats``
+    attribute; every ``interval`` accesses it snapshots the counters and
+    emits the delta as an :class:`IntervalSample`.
+    """
+
+    def __init__(self, target, interval: int):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        stats = getattr(target, "stats", None)
+        if stats is None:
+            raise SimulationError(
+                f"{type(target).__name__} exposes no .stats to record"
+            )
+        self.target = target
+        self.interval = interval
+        self.samples: List[IntervalSample] = []
+        self._events = 0
+        self._interval_start = 0
+        self._last_hits = stats.hits
+        self._last_misses = stats.misses
+
+    def access(self, key: str) -> bool:
+        """Forward one access, sampling at interval boundaries."""
+        result = self.target.access(key)
+        self._events += 1
+        if self._events - self._interval_start >= self.interval:
+            self._flush()
+        return result
+
+    def _flush(self) -> None:
+        stats = self.target.stats
+        self.samples.append(
+            IntervalSample(
+                start_event=self._interval_start,
+                end_event=self._events,
+                hits=stats.hits - self._last_hits,
+                misses=stats.misses - self._last_misses,
+            )
+        )
+        self._interval_start = self._events
+        self._last_hits = stats.hits
+        self._last_misses = stats.misses
+
+    def replay(self, sequence: Iterable[str]) -> List[IntervalSample]:
+        """Drive the target with a sequence; returns the samples.
+
+        A trailing partial interval is flushed so no events are lost.
+        """
+        for key in sequence:
+            self.access(key)
+        if self._events > self._interval_start:
+            self._flush()
+        return self.samples
+
+    def hit_rate_series(self) -> List[float]:
+        """The per-interval hit rates in order."""
+        return [sample.hit_rate for sample in self.samples]
+
+
+def warmup_split(
+    samples: Sequence[IntervalSample], warmup_fraction: float = 0.1
+) -> tuple:
+    """Split samples into (warm-up, steady-state) by event fraction.
+
+    Useful when a benchmark wants cold-start behaviour excluded; the
+    paper reports whole-trace numbers, so figure reproductions do *not*
+    apply this, but extension analyses can.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise SimulationError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    if not samples:
+        return [], []
+    total_events = samples[-1].end_event
+    threshold = total_events * warmup_fraction
+    warm = [sample for sample in samples if sample.end_event <= threshold]
+    steady = [sample for sample in samples if sample.end_event > threshold]
+    return warm, steady
+
+
+def steady_state_hit_rate(
+    samples: Sequence[IntervalSample], warmup_fraction: float = 0.1
+) -> float:
+    """Aggregate hit rate over the post-warm-up samples."""
+    _, steady = warmup_split(samples, warmup_fraction)
+    hits = sum(sample.hits for sample in steady)
+    accesses = sum(sample.accesses for sample in steady)
+    if not accesses:
+        return 0.0
+    return hits / accesses

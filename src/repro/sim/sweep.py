@@ -1,0 +1,108 @@
+"""Parameter sweep runner.
+
+Every figure in the paper is a sweep — over cache capacity, filter
+capacity, successor list size, group size, or symbol length.  This
+module gives those sweeps one shape: a grid of named parameters, a
+callable that maps one parameter point to a result record, and a list
+of flat dict records out, ready for the analysis layer to pivot into
+series.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import ExperimentError
+
+#: One result record: the parameter point plus measured values.
+Record = Dict[str, Any]
+
+
+@dataclass
+class SweepGrid:
+    """A cartesian grid of named parameter values.
+
+    ``axes`` maps parameter names to the values each takes; the grid is
+    the cartesian product in axis-insertion order, so sweep output
+    order is deterministic.
+    """
+
+    axes: Dict[str, Sequence[Any]] = field(default_factory=dict)
+
+    def add_axis(self, name: str, values: Iterable[Any]) -> "SweepGrid":
+        """Add one axis; returns self for chaining."""
+        concrete = list(values)
+        if not concrete:
+            raise ExperimentError(f"axis {name!r} has no values")
+        if name in self.axes:
+            raise ExperimentError(f"axis {name!r} already defined")
+        self.axes[name] = concrete
+        return self
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every parameter point as a dict, in deterministic order."""
+        if not self.axes:
+            return [{}]
+        names = list(self.axes)
+        product = itertools.product(*(self.axes[name] for name in names))
+        return [dict(zip(names, values)) for values in product]
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+
+def run_sweep(
+    grid: SweepGrid,
+    run_point: Callable[..., Mapping[str, Any]],
+    progress: Callable[[int, int, Dict[str, Any]], None] = None,
+) -> List[Record]:
+    """Evaluate ``run_point(**params)`` at every grid point.
+
+    ``run_point`` returns a mapping of measured values; the returned
+    records merge parameters and measurements (measurements win on key
+    collisions, which the runner treats as an error to surface bugs).
+
+    ``progress`` is an optional callback ``(index, total, params)``
+    invoked before each point — the CLI uses it for status lines.
+    """
+    points = grid.points()
+    records: List[Record] = []
+    for index, params in enumerate(points):
+        if progress is not None:
+            progress(index, len(points), params)
+        measured = run_point(**params)
+        collisions = set(params) & set(measured)
+        if collisions:
+            raise ExperimentError(
+                f"run_point returned keys that collide with parameters: "
+                f"{sorted(collisions)}"
+            )
+        record: Record = dict(params)
+        record.update(measured)
+        records.append(record)
+    return records
+
+
+def pivot(
+    records: Sequence[Record], x: str, y: str, series: str = ""
+) -> Dict[Any, List[tuple]]:
+    """Pivot flat records into {series_value: [(x, y), ...]} for plotting.
+
+    With ``series=""`` everything lands under the single key ``""``.
+    Points within each series keep record order (which is sweep order,
+    hence sorted if the axis values were sorted).
+    """
+    lines: Dict[Any, List[tuple]] = {}
+    for record in records:
+        if x not in record or y not in record:
+            raise ExperimentError(
+                f"record missing {x!r} or {y!r}: has keys {sorted(record)}"
+            )
+        key = record.get(series, "") if series else ""
+        lines.setdefault(key, []).append((record[x], record[y]))
+    return lines

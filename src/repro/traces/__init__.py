@@ -1,0 +1,72 @@
+"""Trace substrate: event model, on-disk format, filters, statistics.
+
+This package replaces the CMU DFSTrace toolchain the paper used: it
+models file access events, persists them in a simple text format, and
+provides the stream reductions (opens-only projection, intervening-cache
+filtering) that the paper's analyses depend on.
+"""
+
+from .adapters import from_csv, from_path_lines, from_strace_log
+from .anonymize import anonymize_trace, enumerate_trace, verify_structure_preserved
+from .events import EventKind, Trace, TraceEvent
+from .filters import (
+    by_client,
+    by_kind,
+    by_predicate,
+    by_prefix,
+    cache_filtered,
+    collapse_repeats,
+    opens_only,
+    split_rounds,
+)
+from .merge import concatenate, interleave, prefix_files, relabel_clients
+from .reader import iter_events, parse_event_line, read_file_ids, read_trace
+from .stats import (
+    TraceSummary,
+    access_counts,
+    entropy_of_counts,
+    interreference_distances,
+    last_successor_repeat_rate,
+    popularity_gini,
+    summarize,
+    working_set_sizes,
+)
+from .writer import format_event, write_trace
+
+__all__ = [
+    "EventKind",
+    "Trace",
+    "TraceEvent",
+    "TraceSummary",
+    "access_counts",
+    "anonymize_trace",
+    "by_client",
+    "by_kind",
+    "by_predicate",
+    "by_prefix",
+    "cache_filtered",
+    "collapse_repeats",
+    "concatenate",
+    "entropy_of_counts",
+    "enumerate_trace",
+    "format_event",
+    "from_csv",
+    "from_path_lines",
+    "from_strace_log",
+    "interleave",
+    "interreference_distances",
+    "iter_events",
+    "last_successor_repeat_rate",
+    "opens_only",
+    "parse_event_line",
+    "popularity_gini",
+    "prefix_files",
+    "read_file_ids",
+    "relabel_clients",
+    "read_trace",
+    "split_rounds",
+    "summarize",
+    "verify_structure_preserved",
+    "working_set_sizes",
+    "write_trace",
+]

@@ -1,0 +1,187 @@
+"""Adapters: ingest foreign trace formats.
+
+Users with real traces rarely have them in this library's native
+format.  Three adapters cover the common cases:
+
+* :func:`from_path_lines` — one file path per line (the format most
+  ad-hoc capture scripts produce);
+* :func:`from_csv` — delimited files with configurable columns for
+  path, operation, and client;
+* :func:`from_strace_log` — ``strace``/``ltrace``-style output: lines
+  containing ``open("path", ...)`` / ``openat(..., "path", ...)``
+  calls, with optional PID prefixes.
+
+All adapters tolerate junk lines by default (real logs are messy) and
+can be made strict.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+from ..errors import TraceFormatError
+from .events import EventKind, Trace, TraceEvent
+
+Source = Union[str, Path, TextIO]
+
+
+def _open_text(source: Source):
+    """Normalize a path-or-stream argument to (stream, should_close)."""
+    if isinstance(source, (str, Path)):
+        return Path(source).open("r", encoding="utf-8", errors="replace"), True
+    return source, False
+
+
+def from_path_lines(source: Source, name: str = "imported") -> Trace:
+    """One file path per line; blanks and ``#`` comments skipped."""
+    stream, should_close = _open_text(source)
+    try:
+        trace = Trace(name=name)
+        for raw_line in stream:
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            trace.append(TraceEvent(file_id=line))
+        return trace
+    finally:
+        if should_close:
+            stream.close()
+
+
+#: Operation names accepted by the CSV adapter, mapped onto EventKind.
+_CSV_OPERATIONS = {
+    "open": EventKind.OPEN,
+    "read": EventKind.READ,
+    "write": EventKind.WRITE,
+    "create": EventKind.CREATE,
+    "creat": EventKind.CREATE,
+    "unlink": EventKind.DELETE,
+    "delete": EventKind.DELETE,
+    "remove": EventKind.DELETE,
+    "close": EventKind.CLOSE,
+}
+
+
+def from_csv(
+    source: Source,
+    path_column: Union[int, str] = 0,
+    operation_column: Optional[Union[int, str]] = None,
+    client_column: Optional[Union[int, str]] = None,
+    delimiter: str = ",",
+    has_header: bool = False,
+    strict: bool = False,
+    name: str = "imported",
+) -> Trace:
+    """Delimited trace import with configurable column mapping.
+
+    Columns may be given by index or, with ``has_header``, by name.
+    Unknown operations default to OPEN (or raise when ``strict``).
+    """
+    stream, should_close = _open_text(source)
+    try:
+        reader = csv.reader(stream, delimiter=delimiter)
+        header = next(reader, None) if has_header else None
+
+        def resolve(column):
+            if column is None:
+                return None
+            if isinstance(column, int):
+                return column
+            if header is None:
+                raise TraceFormatError(
+                    f"column name {column!r} needs has_header=True"
+                )
+            try:
+                return header.index(column)
+            except ValueError:
+                raise TraceFormatError(
+                    f"no column {column!r} in header {header}"
+                )
+
+        path_index = resolve(path_column)
+        operation_index = resolve(operation_column)
+        client_index = resolve(client_column)
+
+        trace = Trace(name=name)
+        for line_number, row in enumerate(reader, start=2 if has_header else 1):
+            if not row:
+                continue
+            if path_index >= len(row):
+                if strict:
+                    raise TraceFormatError(
+                        "row too short for path column",
+                        line_number=line_number,
+                    )
+                continue
+            path = row[path_index].strip()
+            if not path:
+                continue
+            kind = EventKind.OPEN
+            if operation_index is not None and operation_index < len(row):
+                operation = row[operation_index].strip().lower()
+                if operation in _CSV_OPERATIONS:
+                    kind = _CSV_OPERATIONS[operation]
+                elif strict:
+                    raise TraceFormatError(
+                        f"unknown operation {operation!r}",
+                        line_number=line_number,
+                    )
+            client = ""
+            if client_index is not None and client_index < len(row):
+                client = row[client_index].strip()
+            trace.append(TraceEvent(file_id=path, kind=kind, client_id=client))
+        return trace
+    finally:
+        if should_close:
+            stream.close()
+
+
+#: open("path", flags) and openat(AT_FDCWD, "path", flags); an optional
+#: leading PID (strace -f output) becomes the process attribution.
+_STRACE_PATTERN = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?"
+    r"(?:\[[^\]]*\]\s+)?"
+    r"(?P<call>open|openat|creat|unlink)\s*\("
+    r"(?:[^,]*,\s*)?"
+    r'"(?P<path>[^"]+)"'
+)
+
+_STRACE_KINDS = {
+    "open": EventKind.OPEN,
+    "openat": EventKind.OPEN,
+    "creat": EventKind.CREATE,
+    "unlink": EventKind.DELETE,
+}
+
+
+def from_strace_log(source: Source, name: str = "strace") -> Trace:
+    """Extract file accesses from strace-style syscall logs.
+
+    Non-matching lines (returns, signals, other syscalls) are skipped;
+    failed opens (``= -1 ENOENT``) are skipped too, since the file was
+    never actually accessed.
+    """
+    stream, should_close = _open_text(source)
+    try:
+        trace = Trace(name=name)
+        for raw_line in stream:
+            match = _STRACE_PATTERN.match(raw_line.strip())
+            if not match:
+                continue
+            if "= -1" in raw_line:
+                continue
+            trace.append(
+                TraceEvent(
+                    file_id=match.group("path"),
+                    kind=_STRACE_KINDS[match.group("call")],
+                    process_id=match.group("pid") or "",
+                )
+            )
+        return trace
+    finally:
+        if should_close:
+            stream.close()

@@ -1,0 +1,137 @@
+"""Trace anonymization.
+
+Real file-system traces leak sensitive information through path names
+(usernames, project names, document titles) — one reason datasets like
+the CMU DFSTrace collection are hard to redistribute.  Everything this
+library computes depends only on the *identity structure* of the
+sequence, never on the names themselves, so traces can be anonymized
+losslessly for every analysis here.
+
+Two schemes:
+
+* :func:`anonymize_trace` — keyed HMAC-style hashing of identifiers.
+  Deterministic for one key, irreversible without it, and stable across
+  traces (the same file maps to the same token in every trace
+  anonymized with the same key) so cross-trace studies still work.
+* :func:`enumerate_trace` — sequential renaming (``f000001``...), the
+  most compact and fully key-free form; first-appearance order is the
+  only structure retained.
+
+Client/user/process identifiers are anonymized with the same scheme in
+separate namespaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+from .events import Trace, TraceEvent
+
+
+def _hash_token(key: bytes, namespace: str, value: str, length: int = 12) -> str:
+    """Keyed, namespaced, truncated hash of one identifier."""
+    digest = hmac.new(
+        key, f"{namespace}:{value}".encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+    return digest[:length]
+
+
+def anonymize_trace(trace: Trace, key: str, token_length: int = 12) -> Trace:
+    """Replace every identifier with a keyed hash token.
+
+    The mapping is deterministic in ``(key, identifier)``; collisions
+    are astronomically unlikely at the default 48-bit token length for
+    realistic trace sizes, and shorter lengths raise accordingly.
+    """
+    key_bytes = key.encode("utf-8")
+    anonymized = Trace(name=f"{trace.name}/anon")
+    for event in trace:
+        anonymized.append(
+            TraceEvent(
+                file_id=_hash_token(key_bytes, "file", event.file_id, token_length),
+                kind=event.kind,
+                client_id=(
+                    _hash_token(key_bytes, "client", event.client_id, token_length)
+                    if event.client_id
+                    else ""
+                ),
+                user_id=(
+                    _hash_token(key_bytes, "user", event.user_id, token_length)
+                    if event.user_id
+                    else ""
+                ),
+                process_id=(
+                    _hash_token(key_bytes, "process", event.process_id, token_length)
+                    if event.process_id
+                    else ""
+                ),
+            )
+        )
+    return anonymized
+
+
+def enumerate_trace(trace: Trace) -> Trace:
+    """Replace identifiers with sequential names in appearance order.
+
+    ``f000000, f000001, ...`` for files and ``c00, c01, ...`` for
+    clients: no key to manage, nothing recoverable, and the output is
+    as compact as identifiers get.
+    """
+    file_names: Dict[str, str] = {}
+    client_names: Dict[str, str] = {}
+
+    def file_token(value: str) -> str:
+        token = file_names.get(value)
+        if token is None:
+            token = f"f{len(file_names):06d}"
+            file_names[value] = token
+        return token
+
+    def client_token(value: str) -> str:
+        if not value:
+            return ""
+        token = client_names.get(value)
+        if token is None:
+            token = f"c{len(client_names):02d}"
+            client_names[value] = token
+        return token
+
+    renamed = Trace(name=f"{trace.name}/enum")
+    for event in trace:
+        renamed.append(
+            TraceEvent(
+                file_id=file_token(event.file_id),
+                kind=event.kind,
+                client_id=client_token(event.client_id),
+                user_id="",
+                process_id="",
+            )
+        )
+    return renamed
+
+
+def verify_structure_preserved(original: Trace, anonymized: Trace) -> bool:
+    """Check that anonymization preserved the identity structure.
+
+    Two traces have the same structure when events at equal positions
+    have equal kinds and the equality pattern of file identifiers is
+    identical (file i == file j in one iff it holds in the other).
+    """
+    if len(original) != len(anonymized):
+        return False
+    seen_original: Dict[str, int] = {}
+    seen_anonymized: Dict[str, int] = {}
+    for original_event, anonymized_event in zip(original, anonymized):
+        if original_event.kind is not anonymized_event.kind:
+            return False
+        original_first = seen_original.setdefault(
+            original_event.file_id, len(seen_original)
+        )
+        anonymized_first = seen_anonymized.setdefault(
+            anonymized_event.file_id, len(seen_anonymized)
+        )
+        if original_first != anonymized_first:
+            return False
+    return True

@@ -1,0 +1,201 @@
+"""Summary statistics over traces.
+
+The paper characterizes workloads by properties that this module
+computes directly from an access sequence: access skew ("the severe
+access skew that is typical of file system workloads", Section 4.5),
+repeat behaviour (files accessed only once are excluded from successor
+entropy), write intensity (the ``write`` workload is defined by it), and
+succession stability (how often a file keeps the same immediate
+successor).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .events import EventKind, Trace
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics for one trace.
+
+    Produced by :func:`summarize`; consumed by reports and by workload
+    calibration tests that check the synthetic generators land in the
+    regimes the paper describes.
+    """
+
+    name: str
+    events: int
+    unique_files: int
+    open_events: int
+    mutation_events: int
+    single_access_files: int
+    repeat_fraction: float
+    write_fraction: float
+    top_file_share: float
+    popularity_gini: float
+    last_successor_repeat_rate: float
+    clients: int
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_rows(self) -> List[Tuple[str, str]]:
+        """Render the summary as (label, value) rows for table output."""
+        return [
+            ("trace", self.name),
+            ("events", str(self.events)),
+            ("unique files", str(self.unique_files)),
+            ("open events", str(self.open_events)),
+            ("mutation events", str(self.mutation_events)),
+            ("single-access files", str(self.single_access_files)),
+            ("repeat fraction", f"{self.repeat_fraction:.3f}"),
+            ("write fraction", f"{self.write_fraction:.3f}"),
+            ("top-file share", f"{self.top_file_share:.3f}"),
+            ("popularity gini", f"{self.popularity_gini:.3f}"),
+            ("last-successor repeat rate", f"{self.last_successor_repeat_rate:.3f}"),
+            ("clients", str(self.clients)),
+        ]
+
+
+def access_counts(trace: Trace) -> Counter:
+    """Per-file access counts over the whole trace."""
+    return Counter(event.file_id for event in trace)
+
+
+def popularity_gini(counts: Counter) -> float:
+    """Gini coefficient of the per-file access-count distribution.
+
+    0 means perfectly even access; values near 1 mean a handful of
+    files absorb nearly all accesses.  File system workloads typically
+    sit well above 0.5.
+    """
+    if not counts:
+        return 0.0
+    values = sorted(counts.values())
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for rank, value in enumerate(values, start=1):
+        cumulative += value
+        weighted += rank * value
+    n = len(values)
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def last_successor_repeat_rate(trace: Trace) -> float:
+    """Fraction of accesses whose successor repeats the previous one.
+
+    For each access to file ``f`` (except each file's first), check
+    whether the file following ``f`` now equals the file that followed
+    ``f`` on its previous access.  This is exactly the accuracy of the
+    last-successor predictor (Lei & Duchamp) and a direct, cheap proxy
+    for the workload predictability the paper measures with successor
+    entropy.
+    """
+    sequence = trace.file_ids()
+    if len(sequence) < 3:
+        return 0.0
+    last_successor: Dict[str, str] = {}
+    predictions = 0
+    correct = 0
+    for index in range(len(sequence) - 1):
+        current = sequence[index]
+        successor = sequence[index + 1]
+        if current in last_successor:
+            predictions += 1
+            if last_successor[current] == successor:
+                correct += 1
+        last_successor[current] = successor
+    if predictions == 0:
+        return 0.0
+    return correct / predictions
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute the full :class:`TraceSummary` for a trace."""
+    counts = access_counts(trace)
+    total = len(trace)
+    unique = len(counts)
+    singles = sum(1 for count in counts.values() if count == 1)
+    opens = sum(1 for event in trace if event.kind is EventKind.OPEN)
+    mutations = sum(1 for event in trace if event.is_mutation)
+    writes = sum(1 for event in trace if event.kind is EventKind.WRITE)
+    kind_counts = Counter(event.kind.value for event in trace)
+    top_share = (max(counts.values()) / total) if total else 0.0
+    repeat_fraction = ((total - singles) / total) if total else 0.0
+    clients = len({event.client_id for event in trace if event.client_id})
+    return TraceSummary(
+        name=trace.name,
+        events=total,
+        unique_files=unique,
+        open_events=opens,
+        mutation_events=mutations,
+        single_access_files=singles,
+        repeat_fraction=repeat_fraction,
+        write_fraction=(writes / total) if total else 0.0,
+        top_file_share=top_share,
+        popularity_gini=popularity_gini(counts),
+        last_successor_repeat_rate=last_successor_repeat_rate(trace.open_events()),
+        clients=clients,
+        kind_counts=dict(kind_counts),
+    )
+
+
+def working_set_sizes(trace: Trace, window: int) -> List[int]:
+    """Distinct-file counts over a sliding window (Denning working sets).
+
+    Returns one sample per window-length stride (non-overlapping
+    windows), characterizing how concentrated the workload's locality
+    is relative to candidate cache capacities.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    sequence = trace.file_ids()
+    sizes = []
+    for start in range(0, len(sequence), window):
+        chunk = sequence[start : start + window]
+        if chunk:
+            sizes.append(len(set(chunk)))
+    return sizes
+
+
+def interreference_distances(trace: Trace, limit: int = 0) -> List[int]:
+    """Distances (in events) between successive accesses to each file.
+
+    The distribution of inter-reference distances determines how an LRU
+    cache of a given capacity performs; the synthetic workload
+    calibration tests assert on its quantiles.  ``limit`` truncates the
+    returned list (0 = no limit) since long traces produce one sample
+    per repeated access.
+    """
+    last_seen: Dict[str, int] = {}
+    distances: List[int] = []
+    for index, file_id in enumerate(trace.file_ids()):
+        if file_id in last_seen:
+            distances.append(index - last_seen[file_id])
+            if limit and len(distances) >= limit:
+                break
+        last_seen[file_id] = index
+    return distances
+
+
+def entropy_of_counts(counts: Counter) -> float:
+    """Shannon entropy (bits) of a count distribution.
+
+    A convenience used by trace characterization; the paper's successor
+    entropy (conditional form) lives in :mod:`repro.core.entropy`.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count:
+            probability = count / total
+            entropy -= probability * math.log2(probability)
+    return entropy

@@ -1,0 +1,53 @@
+"""Writer for the on-disk trace format.
+
+See ``reader.py`` for the format definition.  The writer always emits
+the format header and the trace name, so round-tripping preserves
+identity: ``read_trace(write_trace(trace))`` compares equal event-wise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+from .events import Trace, TraceEvent
+from .reader import FORMAT_NAME, FORMAT_VERSION
+
+
+def format_event(event: TraceEvent) -> str:
+    """Render a single event as one line of the text format."""
+    parts = [event.kind.value, event.file_id]
+    if event.client_id:
+        parts.append(f"client={event.client_id}")
+    if event.user_id:
+        parts.append(f"user={event.user_id}")
+    if event.process_id:
+        parts.append(f"process={event.process_id}")
+    return " ".join(parts)
+
+
+def write_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
+    """Write a trace to a path or open text stream.
+
+    The output begins with the format/version directive and the trace
+    name so readers can recover both.
+    """
+    if isinstance(destination, (str, Path)):
+        path = Path(destination)
+        if path.suffix == ".gz":
+            import gzip
+
+            with gzip.open(path, "wt", encoding="utf-8") as stream:
+                write_trace(trace, stream)
+            return
+        with path.open("w", encoding="utf-8") as stream:
+            write_trace(trace, stream)
+        return
+
+    destination.write(f"#! {FORMAT_NAME} {FORMAT_VERSION}\n")
+    if trace.name:
+        destination.write(f"#! name {trace.name}\n")
+    destination.write(f"# {len(trace)} events, {trace.unique_files()} unique files\n")
+    for event in trace:
+        destination.write(format_event(event))
+        destination.write("\n")

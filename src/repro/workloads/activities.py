@@ -1,0 +1,253 @@
+"""Activity models: the building blocks of synthetic workloads.
+
+The paper's workloads are driven by *applications and users doing
+things*: builds walking source trees, scripts invoking the same
+executables, users revisiting document sets.  An :class:`Activity` is
+one such "thing" — a working set of files plus a rule for the order in
+which they are touched.  Two concrete rules cover the spectrum the
+paper describes:
+
+* :class:`ScriptedActivity` — a deterministic cyclic chain, the model of
+  application-driven access ("more application-driven access patterns,
+  that will tend to be more predictable than user behavior", Section
+  4.2).  Optional *ephemeral slots* emit a fresh, never-repeated file
+  each cycle, modelling temporary/output files; this is what gives the
+  ``write`` workload its churn.
+* :class:`MarkovActivity` — a random walk over the working set with a
+  tunably dominant successor, the model of interactive user behaviour.
+
+Activities deliberately know nothing about clients or interleaving;
+:mod:`repro.workloads.sessions` composes them into full traces.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..traces.events import EventKind
+
+#: One emitted access: (file identifier, operation kind).
+Access = Tuple[str, EventKind]
+
+
+class Activity(abc.ABC):
+    """A named working set with an internal access order."""
+
+    def __init__(self, name: str, files: Sequence[str]):
+        if not files:
+            raise WorkloadError(f"activity {name!r} needs at least one file")
+        self.name = name
+        self.files = list(files)
+
+    @abc.abstractmethod
+    def emit(self, rng: random.Random) -> Access:
+        """Produce the next access of this activity."""
+
+    def reset(self) -> None:
+        """Return the activity to its initial position (default: no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, files={len(self.files)})"
+
+
+class ScriptedActivity(Activity):
+    """A deterministic, cyclic chain of file accesses.
+
+    Parameters
+    ----------
+    name, files:
+        Identity and the ordered chain of file identifiers.
+    ephemeral_slots:
+        Chain positions that emit a *fresh* unique file identifier on
+        every pass (and report :attr:`EventKind.CREATE`), modelling
+        temporary and output files.  Fresh identifiers are derived from
+        the activity name and a monotonically increasing counter, so
+        they never repeat — these files are the single-access
+        population that successor entropy must exclude (Section 4.5).
+    write_slots:
+        Chain positions whose access is reported as
+        :attr:`EventKind.WRITE` instead of OPEN (the file identifier is
+        stable; only the operation kind differs).
+    drift:
+        Probability, evaluated once per completed cycle, of swapping two
+        random chain slots.  Real inter-file relationships shift as
+        projects evolve; drift is what makes recency-managed successor
+        lists beat frequency-managed ones (the paper's Figure 5
+        finding) — a frequency list clings to the pre-drift successor.
+    loop_probability:
+        Probability, evaluated at each chain step, of entering a
+        *mini-loop*: re-visiting the last few chain files several times
+        (edit-compile-run style) before advancing.  Mini-loops create
+        highly predictable references at reuse distances of 2-10 files,
+        the structure that makes a size-10 intervening cache strip more
+        predictability than a size-1 cache (the paper's Figure 8
+        observation).
+    """
+
+    #: Mini-loop geometry: span of files revisited, and repeat counts.
+    LOOP_SPAN = (2, 8)
+    LOOP_REPEATS = (3, 3)
+
+    def __init__(
+        self,
+        name: str,
+        files: Sequence[str],
+        ephemeral_slots: Sequence[int] = (),
+        write_slots: Sequence[int] = (),
+        drift: float = 0.0,
+        loop_probability: float = 0.0,
+    ):
+        super().__init__(name, files)
+        for label, probability in (("drift", drift), ("loop_probability", loop_probability)):
+            if not 0.0 <= probability <= 1.0:
+                raise WorkloadError(
+                    f"activity {name!r}: {label} must be in [0, 1], got {probability}"
+                )
+        self._position = 0
+        self._cycle = 0
+        self._ephemeral = frozenset(ephemeral_slots)
+        self._writes = frozenset(write_slots)
+        self.drift = drift
+        self.loop_probability = loop_probability
+        self._pending: List[int] = []
+        out_of_range = [
+            slot
+            for slot in (set(self._ephemeral) | set(self._writes))
+            if not 0 <= slot < len(self.files)
+        ]
+        if out_of_range:
+            raise WorkloadError(
+                f"activity {name!r}: slots {sorted(out_of_range)} outside the "
+                f"chain of length {len(self.files)}"
+            )
+
+    def _emit_slot(self, slot: int) -> Access:
+        if slot in self._ephemeral:
+            fresh = f"{self.name}/tmp{self._cycle}.{slot}"
+            return fresh, EventKind.CREATE
+        kind = EventKind.WRITE if slot in self._writes else EventKind.OPEN
+        return self.files[slot], kind
+
+    def _maybe_drift(self, rng: random.Random) -> None:
+        """Once per cycle: swap two random slots with probability drift."""
+        if self.drift and rng.random() < self.drift and len(self.files) >= 2:
+            a = rng.randrange(len(self.files))
+            b = rng.randrange(len(self.files))
+            self.files[a], self.files[b] = self.files[b], self.files[a]
+
+    def _maybe_queue_loop(self, slot: int, rng: random.Random) -> None:
+        """Possibly schedule a mini-loop over the files just visited."""
+        if not self.loop_probability or rng.random() >= self.loop_probability:
+            return
+        span = rng.randint(*self.LOOP_SPAN)
+        repeats = rng.randint(*self.LOOP_REPEATS)
+        window = [
+            (slot - offset) % len(self.files) for offset in range(span - 1, -1, -1)
+        ]
+        for _ in range(repeats):
+            self._pending.extend(window)
+
+    def emit(self, rng: random.Random) -> Access:
+        if self._pending:
+            return self._emit_slot(self._pending.pop(0))
+        slot = self._position
+        self._position += 1
+        if self._position >= len(self.files):
+            self._position = 0
+            self._cycle += 1
+            self._maybe_drift(rng)
+        self._maybe_queue_loop(slot, rng)
+        return self._emit_slot(slot)
+
+    def reset(self) -> None:
+        self._position = 0
+        self._pending.clear()
+
+
+class MarkovActivity(Activity):
+    """A random walk with one dominant successor per file.
+
+    Each file's successor distribution gives probability ``stability``
+    to a designated primary successor (a fixed permutation of the
+    working set, so primary chains exist) and spreads the remainder
+    uniformly over the other files.  ``stability`` near 1.0 approaches
+    scripted behaviour; near ``1/len(files)`` it approaches an i.i.d.
+    stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        files: Sequence[str],
+        stability: float = 0.7,
+        rng: Optional[random.Random] = None,
+        write_fraction: float = 0.0,
+        rewire_probability: float = 0.0,
+    ):
+        super().__init__(name, files)
+        if not 0.0 <= stability <= 1.0:
+            raise WorkloadError(f"stability must be in [0, 1], got {stability}")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError(
+                f"write_fraction must be in [0, 1], got {write_fraction}"
+            )
+        if not 0.0 <= rewire_probability <= 1.0:
+            raise WorkloadError(
+                f"rewire_probability must be in [0, 1], got {rewire_probability}"
+            )
+        self.stability = stability
+        self.write_fraction = write_fraction
+        self.rewire_probability = rewire_probability
+        shuffler = rng if rng is not None else random.Random(hash(name) & 0xFFFF)
+        order = list(self.files)
+        shuffler.shuffle(order)
+        #: primary successor map: a single cycle through the working set.
+        self._primary: Dict[str, str] = {
+            order[index]: order[(index + 1) % len(order)] for index in range(len(order))
+        }
+        self._current = order[0]
+        self._initial = order[0]
+
+    def _maybe_rewire(self, rng: random.Random) -> None:
+        """Occasionally swap the primary successors of two random files.
+
+        Keeps the primary map a permutation while letting relationships
+        evolve over the trace — the Markov analogue of scripted drift.
+        """
+        if not self.rewire_probability or rng.random() >= self.rewire_probability:
+            return
+        if len(self.files) < 2:
+            return
+        a = self.files[rng.randrange(len(self.files))]
+        b = self.files[rng.randrange(len(self.files))]
+        self._primary[a], self._primary[b] = self._primary[b], self._primary[a]
+
+    def emit(self, rng: random.Random) -> Access:
+        self._maybe_rewire(rng)
+        current = self._current
+        if len(self.files) == 1 or rng.random() < self.stability:
+            successor = self._primary[current]
+        else:
+            successor = current
+            while successor == current:
+                successor = self.files[rng.randrange(len(self.files))]
+        self._current = successor
+        kind = (
+            EventKind.WRITE
+            if self.write_fraction and rng.random() < self.write_fraction
+            else EventKind.OPEN
+        )
+        return current, kind
+
+    def reset(self) -> None:
+        self._current = self._initial
+
+
+def make_file_names(prefix: str, count: int) -> List[str]:
+    """Generate ``count`` distinct file identifiers under a prefix."""
+    if count <= 0:
+        raise WorkloadError(f"count must be positive, got {count}")
+    return [f"{prefix}/f{index:04d}" for index in range(count)]

@@ -1,0 +1,82 @@
+"""Zipf-distributed sampling.
+
+File system access popularity is famously heavy-tailed; the paper leans
+on "the severe access skew that is typical of file system workloads"
+(Section 4.5).  All popularity choices in the synthetic workloads —
+which activity a session runs, which noise file a daemon touches —
+flow through the sampler defined here, so skew is controlled by a
+single exponent parameter per choice point.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence, TypeVar
+
+from ..errors import WorkloadError
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with probability proportional to ``1/(rank+1)^s``.
+
+    The cumulative distribution is precomputed once, so each draw is a
+    uniform variate plus a binary search — O(log n).
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0):
+        if n <= 0:
+            raise WorkloadError(f"ZipfSampler needs n > 0, got {n}")
+        if exponent < 0:
+            raise WorkloadError(f"Zipf exponent must be >= 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        self._cumulative: List[float] = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank using the supplied RNG."""
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)
+
+    def probability(self, rank: int) -> float:
+        """The probability mass assigned to ``rank``."""
+        if not 0 <= rank < self.n:
+            raise WorkloadError(f"rank {rank} out of range [0, {self.n})")
+        weight = 1.0 / (rank + 1) ** self.exponent
+        return weight / self._total
+
+
+def zipf_choice(items: Sequence[T], rng: random.Random, exponent: float = 1.0) -> T:
+    """Pick one item with Zipf-decaying probability by position.
+
+    Convenience for small sequences where building a persistent sampler
+    is not worth it; the first item is the most likely.
+    """
+    if not items:
+        raise WorkloadError("zipf_choice over an empty sequence")
+    sampler = ZipfSampler(len(items), exponent)
+    return items[sampler.sample(rng)]
+
+
+def geometric(rng: random.Random, mean: float) -> int:
+    """A geometric draw with the given mean, minimum 1.
+
+    Used for burst lengths (how long a session stays on one activity
+    before the scheduler considers switching).
+    """
+    if mean < 1.0:
+        raise WorkloadError(f"geometric mean must be >= 1, got {mean}")
+    if mean == 1.0:
+        return 1
+    # For a geometric on {1, 2, ...} with success probability p, the
+    # mean is 1/p.
+    p = 1.0 / mean
+    draws = 1
+    while rng.random() > p:
+        draws += 1
+    return draws

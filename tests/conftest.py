@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.traces.events import EventKind, Trace, TraceEvent
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def abc_trace():
+    """The paper's Figure 6 example sequence: ACDBEWAXYBUVWDECAB."""
+    return Trace.from_file_ids(list("ACDBEWAXYBUVWDECAB"), name="fig6")
+
+
+@pytest.fixture
+def cyclic_sequence():
+    """A deterministic cyclic access sequence: 20 files, 10 cycles."""
+    files = [f"f{i:02d}" for i in range(20)]
+    return files * 10
+
+
+@pytest.fixture
+def mixed_trace():
+    """A small trace with every event kind and client attribution."""
+    trace = Trace(name="mixed")
+    trace.append(TraceEvent("a", EventKind.OPEN, client_id="c1"))
+    trace.append(TraceEvent("b", EventKind.READ, client_id="c1"))
+    trace.append(TraceEvent("c", EventKind.WRITE, client_id="c2", user_id="u1"))
+    trace.append(TraceEvent("d", EventKind.CREATE, client_id="c2"))
+    trace.append(TraceEvent("a", EventKind.DELETE, process_id="p9"))
+    trace.append(TraceEvent("b", EventKind.CLOSE))
+    trace.append(TraceEvent("a", EventKind.OPEN, client_id="c1"))
+    return trace

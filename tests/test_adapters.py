@@ -1,0 +1,122 @@
+"""Unit tests for foreign trace-format adapters."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.adapters import from_csv, from_path_lines, from_strace_log
+from repro.traces.events import EventKind
+
+
+class TestFromPathLines:
+    def test_basic(self):
+        stream = io.StringIO("/usr/bin/vi\n/etc/passwd\n")
+        trace = from_path_lines(stream)
+        assert trace.file_ids() == ["/usr/bin/vi", "/etc/passwd"]
+
+    def test_skips_blanks_and_comments(self):
+        stream = io.StringIO("# capture 2026-07-06\n\n/a\n  \n/b\n")
+        assert from_path_lines(stream).file_ids() == ["/a", "/b"]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "paths.txt"
+        path.write_text("/x\n/y\n", encoding="utf-8")
+        assert from_path_lines(path).file_ids() == ["/x", "/y"]
+
+
+class TestFromCsv:
+    def test_positional_columns(self):
+        stream = io.StringIO("/a,open,c1\n/b,write,c2\n")
+        trace = from_csv(stream, path_column=0, operation_column=1, client_column=2)
+        assert trace.file_ids() == ["/a", "/b"]
+        assert trace[1].kind is EventKind.WRITE
+        assert trace[1].client_id == "c2"
+
+    def test_named_columns_with_header(self):
+        stream = io.StringIO("op,client,path\nopen,c1,/a\nunlink,c1,/b\n")
+        trace = from_csv(
+            stream,
+            path_column="path",
+            operation_column="op",
+            client_column="client",
+            has_header=True,
+        )
+        assert trace.file_ids() == ["/a", "/b"]
+        assert trace[1].kind is EventKind.DELETE
+
+    def test_named_column_requires_header(self):
+        with pytest.raises(TraceFormatError, match="has_header"):
+            from_csv(io.StringIO("x\n"), path_column="path")
+
+    def test_missing_named_column(self):
+        stream = io.StringIO("a,b\n1,2\n")
+        with pytest.raises(TraceFormatError, match="no column"):
+            from_csv(stream, path_column="path", has_header=True)
+
+    def test_unknown_operation_defaults_to_open(self):
+        stream = io.StringIO("/a,mmap\n")
+        trace = from_csv(stream, path_column=0, operation_column=1)
+        assert trace[0].kind is EventKind.OPEN
+
+    def test_strict_rejects_unknown_operation(self):
+        stream = io.StringIO("/a,mmap\n")
+        with pytest.raises(TraceFormatError, match="mmap"):
+            from_csv(stream, path_column=0, operation_column=1, strict=True)
+
+    def test_short_rows_skipped_unless_strict(self):
+        stream = io.StringIO("/a,open\njunk\n/b,open\n")
+        trace = from_csv(stream, path_column=0, operation_column=1)
+        assert trace.file_ids() == ["/a", "junk", "/b"]
+        short = io.StringIO("x\n")
+        trace = from_csv(short, path_column=3)
+        assert len(trace) == 0
+        with pytest.raises(TraceFormatError):
+            from_csv(io.StringIO("x\n"), path_column=3, strict=True)
+
+    def test_alternate_delimiter(self):
+        stream = io.StringIO("/a|open\n")
+        trace = from_csv(stream, path_column=0, operation_column=1, delimiter="|")
+        assert trace.file_ids() == ["/a"]
+
+
+class TestFromStraceLog:
+    LOG = """\
+1234  open("/etc/ld.so.cache", O_RDONLY|O_CLOEXEC) = 3
+1234  openat(AT_FDCWD, "/usr/lib/libc.so.6", O_RDONLY) = 3
+1234  open("/missing/file", O_RDONLY) = -1 ENOENT (No such file)
+1234  read(3, "\\x7fELF", 832) = 832
+creat("/tmp/output.o", 0644) = 4
+unlink("/tmp/stale.lock") = 0
+--- SIGCHLD {si_signo=SIGCHLD} ---
+"""
+
+    def test_extracts_successful_accesses(self):
+        trace = from_strace_log(io.StringIO(self.LOG))
+        assert trace.file_ids() == [
+            "/etc/ld.so.cache",
+            "/usr/lib/libc.so.6",
+            "/tmp/output.o",
+            "/tmp/stale.lock",
+        ]
+
+    def test_kinds(self):
+        trace = from_strace_log(io.StringIO(self.LOG))
+        assert trace[0].kind is EventKind.OPEN
+        assert trace[2].kind is EventKind.CREATE
+        assert trace[3].kind is EventKind.DELETE
+
+    def test_pid_becomes_process_attribution(self):
+        trace = from_strace_log(io.StringIO(self.LOG))
+        assert trace[0].process_id == "1234"
+        assert trace[2].process_id == ""
+
+    def test_failed_opens_skipped(self):
+        trace = from_strace_log(io.StringIO(self.LOG))
+        assert "/missing/file" not in trace.file_ids()
+
+    def test_adapter_feeds_analysis(self):
+        from repro.core.entropy import successor_entropy
+
+        trace = from_strace_log(io.StringIO(self.LOG * 10))
+        assert successor_entropy(trace.file_ids()) >= 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for trace anonymization."""
+
+import pytest
+
+from repro.core.entropy import successor_entropy
+from repro.traces.anonymize import (
+    anonymize_trace,
+    enumerate_trace,
+    verify_structure_preserved,
+)
+from repro.traces.events import EventKind, Trace, TraceEvent
+
+
+@pytest.fixture
+def sensitive_trace():
+    trace = Trace(name="payroll")
+    trace.append(TraceEvent("/home/alice/salaries.xlsx", client_id="alice-laptop"))
+    trace.append(TraceEvent("/home/alice/bonus.doc", EventKind.WRITE, client_id="alice-laptop"))
+    trace.append(TraceEvent("/home/alice/salaries.xlsx", client_id="alice-laptop"))
+    trace.append(TraceEvent("/home/bob/resume.pdf", client_id="bob-laptop", user_id="bob"))
+    return trace
+
+
+class TestAnonymizeTrace:
+    def test_identifiers_replaced(self, sensitive_trace):
+        anonymized = anonymize_trace(sensitive_trace, key="secret")
+        for event in anonymized:
+            assert "alice" not in event.file_id
+            assert "alice" not in event.client_id
+            assert "bob" not in event.user_id
+
+    def test_deterministic_for_key(self, sensitive_trace):
+        a = anonymize_trace(sensitive_trace, key="k1").file_ids()
+        b = anonymize_trace(sensitive_trace, key="k1").file_ids()
+        assert a == b
+
+    def test_different_keys_differ(self, sensitive_trace):
+        a = anonymize_trace(sensitive_trace, key="k1").file_ids()
+        b = anonymize_trace(sensitive_trace, key="k2").file_ids()
+        assert a != b
+
+    def test_identity_structure_preserved(self, sensitive_trace):
+        anonymized = anonymize_trace(sensitive_trace, key="secret")
+        assert verify_structure_preserved(sensitive_trace, anonymized)
+        # Same file -> same token.
+        ids = anonymized.file_ids()
+        assert ids[0] == ids[2]
+        assert ids[0] != ids[1]
+
+    def test_kinds_preserved(self, sensitive_trace):
+        anonymized = anonymize_trace(sensitive_trace, key="secret")
+        assert anonymized[1].kind is EventKind.WRITE
+
+    def test_empty_attribution_stays_empty(self, sensitive_trace):
+        anonymized = anonymize_trace(sensitive_trace, key="secret")
+        assert anonymized[0].user_id == ""
+
+    def test_namespaces_separated(self):
+        # The same raw string as a file and as a client must map to
+        # different tokens (no cross-namespace linkage).
+        trace = Trace()
+        trace.append(TraceEvent("shared-name", client_id="shared-name"))
+        anonymized = anonymize_trace(trace, key="k")
+        assert anonymized[0].file_id != anonymized[0].client_id
+
+    def test_token_length(self, sensitive_trace):
+        anonymized = anonymize_trace(sensitive_trace, key="k", token_length=8)
+        assert all(len(event.file_id) == 8 for event in anonymized)
+
+
+class TestEnumerateTrace:
+    def test_appearance_order(self, sensitive_trace):
+        renamed = enumerate_trace(sensitive_trace)
+        assert renamed.file_ids() == ["f000000", "f000001", "f000000", "f000002"]
+
+    def test_clients_enumerated(self, sensitive_trace):
+        renamed = enumerate_trace(sensitive_trace)
+        assert renamed[0].client_id == "c00"
+        assert renamed[3].client_id == "c01"
+
+    def test_user_process_dropped(self, sensitive_trace):
+        renamed = enumerate_trace(sensitive_trace)
+        assert all(e.user_id == "" and e.process_id == "" for e in renamed)
+
+    def test_structure_preserved(self, sensitive_trace):
+        renamed = enumerate_trace(sensitive_trace)
+        assert verify_structure_preserved(sensitive_trace, renamed)
+
+
+class TestAnalysisInvariance:
+    def test_entropy_invariant_under_anonymization(self):
+        from repro.workloads import make_workstation
+
+        trace = make_workstation(4000)
+        original = successor_entropy(trace.file_ids())
+        hashed = successor_entropy(anonymize_trace(trace, key="k").file_ids())
+        enumerated = successor_entropy(enumerate_trace(trace).file_ids())
+        assert hashed == pytest.approx(original)
+        assert enumerated == pytest.approx(original)
+
+    def test_cache_behaviour_invariant(self):
+        from repro.caching.lru import LRUCache
+        from repro.workloads import make_server
+
+        trace = make_server(4000)
+        def misses(sequence):
+            cache = LRUCache(100)
+            for key in sequence:
+                cache.access(key)
+            return cache.stats.misses
+
+        assert misses(trace.file_ids()) == misses(
+            enumerate_trace(trace).file_ids()
+        )
+
+
+class TestVerifyStructure:
+    def test_detects_length_mismatch(self, sensitive_trace):
+        shorter = sensitive_trace.slice(0, 2)
+        assert not verify_structure_preserved(sensitive_trace, shorter)
+
+    def test_detects_identity_merge(self):
+        original = Trace.from_file_ids(["a", "b", "a"])
+        merged = Trace.from_file_ids(["x", "x", "x"])
+        assert not verify_structure_preserved(original, merged)
+
+    def test_detects_kind_change(self):
+        original = Trace.from_file_ids(["a"])
+        changed = Trace.from_file_ids(["a"], kind=EventKind.WRITE)
+        assert not verify_structure_preserved(original, changed)

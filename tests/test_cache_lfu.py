@@ -1,0 +1,94 @@
+"""Unit tests for the LFU cache."""
+
+import pytest
+
+from repro.caching.lfu import LFUCache
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # b has count 1, a has count 2 -> evict b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_tie_broken_by_lru(self):
+        cache = LFUCache(2)
+        cache.access("a")
+        cache.access("b")
+        # Both count 1; a is older -> evicted first.
+        cache.access("c")
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_frequency_tracking(self):
+        cache = LFUCache(3)
+        cache.access("a")
+        cache.access("a")
+        cache.access("a")
+        assert cache.frequency_of("a") == 3
+
+    def test_frequency_reset_on_readmission(self):
+        cache = LFUCache(1)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")  # evicts a despite count 2 (only resident)
+        cache.access("a")
+        assert cache.frequency_of("a") == 1
+
+    def test_min_frequency_recovery_after_eviction(self):
+        cache = LFUCache(3)
+        for _ in range(3):
+            cache.access("a")
+        for _ in range(2):
+            cache.access("b")
+        cache.access("c")
+        cache.access("d")  # evicts c (count 1)
+        assert "c" not in cache
+        cache.access("e")  # evicts d (count 1)
+        assert "d" not in cache
+        assert "a" in cache and "b" in cache
+
+    def test_remove(self):
+        cache = LFUCache(2)
+        cache.access("a")
+        cache.access("b")
+        assert cache.invalidate("a")
+        assert "a" not in cache
+        assert len(cache) == 1
+
+    def test_remove_min_bucket_updates_floor(self):
+        cache = LFUCache(2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.invalidate("b")  # only count-1 entry removed
+        cache.access("c")
+        cache.access("d")  # evicts c (count 1), not a (count 2)
+        assert "a" in cache
+        assert "c" not in cache
+
+    def test_hit_miss_accounting(self):
+        cache = LFUCache(2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_keys(self):
+        cache = LFUCache(3)
+        for key in "abc":
+            cache.access(key)
+        assert set(cache.keys()) == {"a", "b", "c"}
+
+    def test_install_path(self):
+        cache = LFUCache(2)
+        assert cache.install("x") is True
+        assert cache.frequency_of("x") == 1
+        assert cache.stats.accesses == 0

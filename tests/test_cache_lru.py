@@ -1,0 +1,169 @@
+"""Unit tests for LRUCache, including aggregating-cache placement support."""
+
+import pytest
+
+from repro.caching.lru import LRUCache
+from repro.errors import CacheConfigurationError
+
+
+class TestBasics:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(CacheConfigurationError):
+            LRUCache(0)
+        with pytest.raises(CacheConfigurationError):
+            LRUCache(-3)
+
+    def test_miss_then_hit(self):
+        cache = LRUCache(2)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # a is now MRU
+        cache.access("c")  # evicts b
+        assert "b" not in cache
+        assert "a" in cache
+        assert "c" in cache
+
+    def test_victim(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.access(key)
+        assert cache.victim() == "a"
+        cache.access("a")
+        assert cache.victim() == "b"
+
+    def test_len_and_contains(self):
+        cache = LRUCache(5)
+        cache.access("a")
+        cache.access("b")
+        assert len(cache) == 2
+        assert "a" in cache
+        assert "z" not in cache
+
+    def test_probe_has_no_side_effects(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        cache.access("b")
+        assert cache.probe("a") is True
+        cache.access("c")  # should evict a (probe must not have promoted it)
+        assert "a" not in cache
+
+    def test_invalidate(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert "a" not in cache
+
+    def test_clear_keeps_stats(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_keys_order_lru_to_mru(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("a")
+        assert list(cache.keys()) == ["b", "c", "a"]
+
+    def test_recency_rank(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.access(key)
+        assert cache.recency_rank("c") == 0
+        assert cache.recency_rank("a") == 2
+        with pytest.raises(KeyError):
+            cache.recency_rank("zzz")
+
+    def test_eviction_counter(self):
+        cache = LRUCache(1)
+        cache.access("a")
+        cache.access("b")
+        assert cache.stats.evictions == 1
+
+
+class TestInstall:
+    def test_install_does_not_count_as_demand(self):
+        cache = LRUCache(2)
+        assert cache.install("a") is True
+        assert cache.stats.accesses == 0
+        assert cache.stats.installs == 1
+
+    def test_install_resident_is_noop(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        assert cache.install("a") is False
+        assert cache.stats.installs == 0
+
+    def test_install_at_tail_is_first_victim(self):
+        cache = LRUCache(3)
+        cache.access("a")
+        cache.access("b")
+        cache.install_at_tail("t")
+        cache.access("c")  # cache full: evicts t, the tail install
+        assert "t" not in cache
+        assert "a" in cache
+
+    def test_install_at_tail_does_not_promote_resident(self):
+        cache = LRUCache(3)
+        cache.access("a")
+        cache.access("b")
+        assert cache.install_at_tail("a") is False
+        assert cache.victim() == "a"
+
+
+class TestInstallGroupAtTail:
+    def test_group_members_do_not_evict_each_other(self):
+        # Regression test for the self-eviction bug: installing a group
+        # into a full cache must evict old residents, not the group's
+        # own earlier members.
+        cache = LRUCache(10)
+        for i in range(10):
+            cache.access(f"old{i}")
+        installed = cache.install_group_at_tail(["g1", "g2", "g3", "g4"])
+        assert installed == 4
+        for member in ("g1", "g2", "g3", "g4"):
+            assert member in cache
+
+    def test_farthest_prediction_evicted_first(self):
+        cache = LRUCache(10)
+        cache.access("demand")
+        cache.install_group_at_tail(["n1", "n2", "n3"])
+        # Eviction order should be n3 (farthest), n2, n1, then demand.
+        assert cache.victim() == "n3"
+
+    def test_skips_resident_members(self):
+        cache = LRUCache(10)
+        cache.access("a")
+        assert cache.install_group_at_tail(["a", "b"]) == 1
+        assert "b" in cache
+
+    def test_deduplicates_batch(self):
+        cache = LRUCache(10)
+        assert cache.install_group_at_tail(["x", "x", "y"]) == 2
+
+    def test_never_displaces_mru_demand_file(self):
+        cache = LRUCache(3)
+        cache.access("demand")
+        # Group larger than the cache: trimmed, demand file survives.
+        cache.install_group_at_tail([f"n{i}" for i in range(10)])
+        assert "demand" in cache
+        assert len(cache) == 3
+
+    def test_empty_batch(self):
+        cache = LRUCache(2)
+        assert cache.install_group_at_tail([]) == 0
+
+    def test_counts_installs(self):
+        cache = LRUCache(5)
+        cache.install_group_at_tail(["a", "b"])
+        assert cache.stats.installs == 2

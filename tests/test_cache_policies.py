@@ -1,0 +1,280 @@
+"""Unit tests for FIFO, CLOCK, Random, MQ, ARC, OPT, and NullCache."""
+
+import random
+
+import pytest
+
+from repro.caching import POLICIES, make_cache
+from repro.caching.arc import ARCCache
+from repro.caching.base import NullCache
+from repro.caching.clock import ClockCache
+from repro.caching.fifo import FIFOCache
+from repro.caching.mq import MQCache
+from repro.caching.opt import OPTCache, opt_miss_count
+from repro.caching.random_cache import RandomCache
+from repro.errors import SimulationError
+
+
+class TestFIFO:
+    def test_hits_do_not_promote(self):
+        cache = FIFOCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # hit, but a stays oldest
+        cache.access("c")  # evicts a
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_insertion_order_eviction(self):
+        cache = FIFOCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.access("d")
+        assert "a" not in cache
+
+
+class TestClock:
+    def test_second_chance(self):
+        cache = ClockCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # sets a's reference bit
+        cache.access("c")  # b lacks the bit -> evicted before a
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_sweep_clears_bits(self):
+        cache = ClockCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")
+        cache.access("b")  # both referenced
+        cache.access("c")  # sweep clears both, evicts one
+        assert len(cache) == 2
+        assert "c" in cache
+
+    def test_invalidate_preserves_consistency(self):
+        cache = ClockCache(3)
+        for key in "abc":
+            cache.access(key)
+        cache.invalidate("b")
+        cache.access("d")
+        cache.access("e")
+        assert len(cache) == 3
+
+    def test_drain_and_refill(self):
+        cache = ClockCache(2)
+        for key in "ab":
+            cache.access(key)
+        cache.invalidate("a")
+        cache.invalidate("b")
+        assert len(cache) == 0
+        cache.access("x")
+        assert "x" in cache
+
+
+class TestRandom:
+    def test_capacity_respected(self):
+        cache = RandomCache(5, rng=random.Random(7))
+        for i in range(100):
+            cache.access(f"k{i}")
+        assert len(cache) == 5
+
+    def test_deterministic_with_seed(self):
+        def run():
+            cache = RandomCache(3, rng=random.Random(42))
+            for i in range(50):
+                cache.access(f"k{i % 7}")
+            return sorted(cache.keys()), cache.stats.hits
+
+        assert run() == run()
+
+    def test_remove_last_slot(self):
+        cache = RandomCache(3, rng=random.Random(1))
+        cache.access("a")
+        cache.access("b")
+        cache.invalidate("b")  # remove the most recent slot
+        assert "a" in cache
+        assert len(cache) == 1
+
+
+class TestMQ:
+    def test_frequency_promotes_queue(self):
+        cache = MQCache(4, queue_count=4)
+        cache.access("a")
+        assert cache.queue_index_of("a") == 0
+        cache.access("a")  # count 2 -> queue 1
+        assert cache.queue_index_of("a") == 1
+        for _ in range(2):
+            cache.access("a")  # count 4 -> queue 2
+        assert cache.queue_index_of("a") == 2
+
+    def test_evicts_from_lowest_queue(self):
+        cache = MQCache(2, queue_count=4)
+        cache.access("hot")
+        cache.access("hot")
+        cache.access("cold")
+        cache.access("new")  # cold (queue 0) evicted, hot (queue 1) kept
+        assert "hot" in cache
+        assert "cold" not in cache
+
+    def test_history_restores_frequency(self):
+        cache = MQCache(2, queue_count=4, history_capacity=16)
+        for _ in range(4):
+            cache.access("a")  # queue 2
+        cache.access("b")
+        cache.access("c")  # evicts b (queue 0)
+        assert "b" not in cache
+        cache.access("b")  # remembered count 1 -> re-enters at count 2
+        assert cache.queue_index_of("b") == 1
+
+    def test_expired_heads_demote(self):
+        cache = MQCache(4, queue_count=4, life_time=2)
+        cache.access("a")
+        cache.access("a")  # queue 1
+        for i in range(6):
+            cache.access(f"f{i % 2}")  # advance the clock well past expiry
+        assert cache.queue_index_of("a") == 0
+
+    def test_capacity(self):
+        cache = MQCache(3)
+        for i in range(10):
+            cache.access(f"k{i}")
+        assert len(cache) == 3
+
+
+class TestARC:
+    def test_capacity_never_exceeded(self):
+        cache = ARCCache(4)
+        for i in range(100):
+            cache.access(f"k{i % 11}")
+        assert len(cache) <= 4
+
+    def test_hit_moves_to_frequent(self):
+        cache = ARCCache(4)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")
+        cache.access("d")
+        cache.access("e")  # pressure on T1; 'a' (in T2) should survive
+        assert "a" in cache
+
+    def test_scan_resistance(self):
+        # A scan of one-time keys should not flush a re-referenced set.
+        cache = ARCCache(8)
+        working = [f"w{i}" for i in range(4)]
+        for _ in range(4):
+            for key in working:
+                cache.access(key)
+        for i in range(32):
+            cache.access(f"scan{i}")
+        hits_before = cache.stats.hits
+        for key in working:
+            cache.access(key)
+        # At least some of the working set survived the scan.
+        assert cache.stats.hits > hits_before
+
+    def test_ghost_hit_adapts_target(self):
+        cache = ARCCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # promotes a to T2
+        cache.access("c")  # REPLACE evicts b into the B1 ghost list
+        cache.access("b")  # ghost hit: p grows
+        assert cache.recency_target > 0.0
+
+    def test_remove(self):
+        cache = ARCCache(2)
+        cache.access("a")
+        assert cache.invalidate("a")
+        assert "a" not in cache
+        with pytest.raises(KeyError):
+            cache._remove("zzz")
+
+
+class TestOPT:
+    def test_optimal_on_cyclic(self):
+        files = [f"f{i}" for i in range(4)]
+        seq = files * 10
+        # Capacity 3 on a 4-cycle: OPT misses 4 cold + keeps 2 of the
+        # cycle resident... compute against brute LRU which misses all.
+        misses = opt_miss_count(3, seq)
+        assert misses < len(seq)
+        assert misses >= 4  # at least the cold misses
+
+    def test_opt_not_worse_than_lru(self):
+        from repro.caching.lru import LRUCache
+
+        rng = random.Random(9)
+        seq = [f"f{rng.randrange(30)}" for _ in range(2000)]
+        lru = LRUCache(10)
+        for key in seq:
+            lru.access(key)
+        assert opt_miss_count(10, seq) <= lru.stats.misses
+
+    def test_rejects_out_of_order_drive(self):
+        cache = OPTCache(2, ["a", "b"])
+        cache.access("a")
+        with pytest.raises(SimulationError, match="expected access"):
+            cache.access("z")
+
+    def test_rejects_overrun(self):
+        cache = OPTCache(2, ["a"])
+        cache.access("a")
+        with pytest.raises(SimulationError, match="past the end"):
+            cache.access("a")
+
+    def test_evicts_farthest_next_use(self):
+        # a reused soon, b reused late, c new: with capacity 2 OPT
+        # evicts b when c arrives.
+        seq = ["a", "b", "c", "a", "c", "a", "b"]
+        cache = OPTCache(2, seq)
+        for key in seq[:3]:
+            cache.access(key)
+        assert "b" not in cache
+        assert "a" in cache
+
+
+class TestNullCache:
+    def test_always_misses(self):
+        cache = NullCache()
+        assert cache.access("a") is False
+        assert cache.access("a") is False
+        assert cache.stats.misses == 2
+        assert len(cache) == 0
+
+    def test_install_is_noop(self):
+        cache = NullCache()
+        assert cache.install("a") is False
+        assert "a" not in cache
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in POLICIES:
+            cache = make_cache(name, 4)
+            cache.access("x")
+            assert cache.policy_name == name
+
+    def test_unknown_policy_error_lists_names(self):
+        with pytest.raises(KeyError, match="lru"):
+            make_cache("belady", 4)
+
+    def test_capacity_invariant_across_policies(self):
+        rng = random.Random(3)
+        seq = [f"k{rng.randrange(40)}" for _ in range(1500)]
+        for name in POLICIES:
+            cache = make_cache(name, 8)
+            for key in seq:
+                cache.access(key)
+            assert len(cache) <= 8, name
+
+    def test_stats_consistency_across_policies(self):
+        seq = ["a", "b", "a", "c", "a", "b"] * 20
+        for name in POLICIES:
+            cache = make_cache(name, 4)
+            for key in seq:
+                cache.access(key)
+            stats = cache.stats
+            assert stats.hits + stats.misses == len(seq), name

@@ -1,0 +1,233 @@
+"""Unit tests for the 2Q and SLRU cache policies."""
+
+import pytest
+
+from repro.caching.slru import SLRUCache
+from repro.caching.twoq import TwoQCache
+
+
+class TestTwoQ:
+    def test_first_access_enters_staging(self):
+        cache = TwoQCache(8)
+        cache.access("a")
+        assert cache.in_staging("a")
+
+    def test_ghost_rereference_promotes_to_main(self):
+        cache = TwoQCache(4, kin=1, kout=4)
+        cache.access("a")
+        cache.access("b")  # a pushed over Kin on the next eviction
+        cache.access("c")
+        cache.access("d")
+        cache.access("e")  # forces evictions: staged keys become ghosts
+        assert cache.in_ghost("a")
+        cache.access("a")  # ghost hit: promoted to Am
+        assert "a" in cache
+        assert not cache.in_staging("a")
+
+    def test_scan_resistance(self):
+        # A working set that has earned Am residency should survive a
+        # scan of one-time keys (which only churn A1in).
+        cache = TwoQCache(8, kin=2, kout=8)
+        working = ["w1", "w2"]
+        # Earn Am membership via ghost re-reference: enough evictors to
+        # push the working set out of A1in and into the ghost list.
+        for key in working:
+            cache.access(key)
+        for i in range(9):
+            cache.access(f"evictor{i}")
+        for key in working:
+            cache.access(key)  # ghost hits -> Am
+        for i in range(20):
+            cache.access(f"scan{i}")
+        for key in working:
+            assert key in cache, key
+
+    def test_capacity_bound(self):
+        cache = TwoQCache(6)
+        for i in range(200):
+            cache.access(f"k{i % 19}")
+        assert len(cache) <= 6
+
+    def test_ghost_list_bounded(self):
+        cache = TwoQCache(4, kin=1, kout=3)
+        for i in range(50):
+            cache.access(f"k{i}")
+        ghosts = sum(1 for i in range(50) if cache.in_ghost(f"k{i}"))
+        assert ghosts <= 3
+
+    def test_staging_hit_does_not_promote(self):
+        cache = TwoQCache(8)
+        cache.access("a")
+        cache.access("a")  # hit in A1in: stays in A1in
+        assert cache.in_staging("a")
+
+    def test_remove(self):
+        cache = TwoQCache(8)
+        cache.access("a")
+        assert cache.invalidate("a")
+        assert "a" not in cache
+        with pytest.raises(KeyError):
+            cache._remove("ghost")
+
+    def test_keys_iterates_both_segments(self):
+        cache = TwoQCache(8, kin=1, kout=8)
+        cache.access("a")
+        cache.access("b")
+        assert set(cache.keys()) == {"a", "b"}
+
+
+class TestSLRU:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            SLRUCache(8, protected_fraction=0.0)
+        with pytest.raises(ValueError):
+            SLRUCache(8, protected_fraction=1.0)
+
+    def test_miss_enters_probationary(self):
+        cache = SLRUCache(8)
+        cache.access("a")
+        assert not cache.is_protected("a")
+
+    def test_hit_promotes(self):
+        cache = SLRUCache(8)
+        cache.access("a")
+        cache.access("a")
+        assert cache.is_protected("a")
+
+    def test_victims_from_probationary_first(self):
+        cache = SLRUCache(3, protected_fraction=0.5)
+        cache.access("hot")
+        cache.access("hot")  # protected
+        cache.access("p1")
+        cache.access("p2")
+        cache.access("p3")  # evicts p1 (probationary LRU), not hot
+        assert "hot" in cache
+        assert "p1" not in cache
+
+    def test_protected_overflow_demotes(self):
+        cache = SLRUCache(4, protected_fraction=0.3)  # protected cap 1
+        cache.access("a")
+        cache.access("a")  # a protected
+        cache.access("b")
+        cache.access("b")  # b promoted, a demoted to probationary
+        assert cache.is_protected("b")
+        assert "a" in cache
+        assert not cache.is_protected("a")
+
+    def test_one_timers_cannot_displace_protected(self):
+        cache = SLRUCache(6, protected_fraction=0.5)
+        for key in ("w1", "w2", "w3"):
+            cache.access(key)
+            cache.access(key)  # all protected
+        for i in range(30):
+            cache.access(f"scan{i}")
+        for key in ("w1", "w2", "w3"):
+            assert key in cache, key
+
+    def test_capacity_bound(self):
+        cache = SLRUCache(5)
+        for i in range(100):
+            cache.access(f"k{i % 13}")
+        assert len(cache) <= 5
+
+    def test_eviction_falls_back_to_protected(self):
+        cache = SLRUCache(2, protected_fraction=0.6)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("b")
+        # Both protected (cap 1 -> a demoted), cache full; next miss
+        # must still find a victim.
+        cache.access("c")
+        assert len(cache) <= 2
+
+    def test_remove_both_segments(self):
+        cache = SLRUCache(4)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        assert cache.invalidate("a")
+        assert cache.invalidate("b")
+        with pytest.raises(KeyError):
+            cache._remove("zzz")
+
+
+class TestLIRS:
+    def _make(self, capacity=10, **kwargs):
+        from repro.caching.lirs import LIRSCache
+
+        return LIRSCache(capacity, **kwargs)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            self._make(hir_fraction=0.0)
+        with pytest.raises(ValueError):
+            self._make(hir_fraction=1.0)
+        with pytest.raises(ValueError):
+            self._make(ghost_factor=-1)
+
+    def test_cold_fill_enters_lir(self):
+        cache = self._make(10)
+        cache.access("a")
+        assert cache.is_lir("a")
+
+    def test_capacity_bound_under_churn(self):
+        import random
+
+        rng = random.Random(2)
+        cache = self._make(8)
+        for _ in range(3000):
+            cache.access(f"k{rng.randrange(40)}")
+        assert len(cache) <= 8
+
+    def test_scan_resistance(self):
+        cache = self._make(12)
+        working = [f"w{i}" for i in range(6)]
+        for _ in range(4):
+            for key in working:
+                cache.access(key)
+        for i in range(60):
+            cache.access(f"scan{i}")
+        survivors = sum(1 for key in working if key in cache)
+        assert survivors == len(working)
+
+    def test_short_irr_promotes_hir_to_lir(self):
+        cache = self._make(6, hir_fraction=0.34)  # lir cap 4, hir cap 2
+        for key in ("l1", "l2", "l3", "l4"):
+            cache.access(key)  # fill the LIR set
+        cache.access("h1")  # resident HIR
+        cache.access("h1")  # short IRR: must be LIR now
+        assert cache.is_lir("h1")
+
+    def test_ghost_rereference_enters_lir(self):
+        cache = self._make(5, hir_fraction=0.2, ghost_factor=4.0)
+        for key in ("l1", "l2", "l3", "l4"):
+            cache.access(key)
+        cache.access("g")   # resident HIR (queue size 1)
+        cache.access("x")   # evicts g -> ghost
+        assert "g" not in cache
+        cache.access("g")   # ghost re-reference: short IRR -> LIR
+        assert cache.is_lir("g")
+
+    def test_hit_miss_accounting(self):
+        cache = self._make(6)
+        sequence = ["a", "b", "a", "c", "a"] * 10
+        for key in sequence:
+            cache.access(key)
+        assert cache.stats.hits + cache.stats.misses == len(sequence)
+
+    def test_invalidate_both_kinds(self):
+        cache = self._make(5, hir_fraction=0.2)
+        for key in ("l1", "l2", "l3", "l4"):
+            cache.access(key)
+        cache.access("h1")
+        assert cache.invalidate("l1")
+        assert cache.invalidate("h1")
+        assert not cache.invalidate("ghost")
+        assert len(cache) == 3
+
+    def test_keys_cover_residents(self):
+        cache = self._make(6)
+        for key in ("a", "b", "c"):
+            cache.access(key)
+        assert set(cache.keys()) == {"a", "b", "c"}

@@ -1,0 +1,226 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig3", "fig4", "fig5", "fig7", "fig8", "headline"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+    def test_workload_choices_enforced(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig3", "--workload", "cray"])
+
+
+class TestMain:
+    def test_fig5_runs(self, capsys):
+        code = main(["fig5", "--workload", "server", "--events", "2500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Oracle" in out
+        assert "| Number of Successors |" in out
+
+    def test_fig7_runs(self, capsys):
+        code = main(["fig7", "--events", "2500"])
+        assert code == 0
+        assert "successor entropy" in capsys.readouterr().out.lower()
+
+    def test_fig3_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig3.csv"
+        code = main(
+            [
+                "fig3",
+                "--workload",
+                "server",
+                "--events",
+                "2500",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("Cache Capacity")
+
+    def test_headline_runs(self, capsys):
+        code = main(["headline", "--events", "2500"])
+        assert code == 0
+        assert "claim" in capsys.readouterr().out
+
+    def test_generate_and_inspect(self, capsys, tmp_path):
+        trace_path = tmp_path / "server.trace"
+        code = main(
+            [
+                "generate",
+                "--workload",
+                "server",
+                "--events",
+                "1000",
+                "--out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert trace_path.exists()
+        code = main(["inspect", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| events | 1000 |" in out
+
+    def test_inspect_missing_file(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["inspect", "/nonexistent/trace.txt"])
+
+    def test_placement_runs(self, capsys):
+        code = main(["placement", "--workload", "server", "--events", "2500"])
+        assert code == 0
+        assert "Mean Seek Distance" in capsys.readouterr().out
+
+    def test_hoard_runs(self, capsys):
+        code = main(["hoard", "--workload", "server", "--events", "4000"])
+        assert code == 0
+        assert "group-closure" in capsys.readouterr().out
+
+    def test_cooperation_runs(self, capsys):
+        code = main(["cooperation", "--workload", "server", "--events", "2500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cooperative" in out
+        assert "filtered" in out
+
+    def test_profile_workload(self, capsys):
+        code = main(["profile", "--workload", "server", "--events", "2500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predictability profile" in out
+        assert "bits" in out
+
+    def test_profile_trace_file(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.trace"
+        main(
+            [
+                "generate",
+                "--workload",
+                "workstation",
+                "--events",
+                "2000",
+                "--out",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["profile", "--trace", str(trace_path)])
+        assert code == 0
+        assert "predictability profile" in capsys.readouterr().out
+
+    def test_error_reporting(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("frobnicate x\n", encoding="utf-8")
+        code = main(["inspect", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompareAndAnonymize:
+    def test_compare_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "server",
+                "--events",
+                "3000",
+                "--capacity",
+                "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregating g5" in out
+        assert "| lru |" in out
+
+    def test_anonymize_keyed(self, capsys, tmp_path):
+        source = tmp_path / "raw.trace"
+        target = tmp_path / "anon.trace"
+        main(
+            [
+                "generate",
+                "--workload",
+                "server",
+                "--events",
+                "500",
+                "--out",
+                str(source),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["anonymize", str(source), "--out", str(target), "--key", "k"])
+        assert code == 0
+        assert target.exists()
+        assert "server/" not in target.read_text().splitlines()[5]
+
+    def test_anonymize_enumerated(self, capsys, tmp_path):
+        source = tmp_path / "raw.trace"
+        target = tmp_path / "enum.trace"
+        main(
+            [
+                "generate",
+                "--workload",
+                "users",
+                "--events",
+                "500",
+                "--out",
+                str(source),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["anonymize", str(source), "--out", str(target)])
+        assert code == 0
+        assert "enumeration" in capsys.readouterr().out
+
+
+class TestWorkloadsCommand:
+    def test_catalog_table(self, capsys):
+        code = main(["workloads"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mozart" in out
+        assert "barber" in out
+
+    def test_single_workload_detail(self, capsys):
+        code = main(["workloads", "server"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calibration targets" in out
+
+    def test_unknown_workload_errors(self, capsys):
+        code = main(["workloads", "vax"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGraphAndReportCommands:
+    def test_graph_runs(self, capsys):
+        code = main(["graph", "--workload", "server", "--events", "2500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relationship graph" in out
+        assert "hub files" in out
+        assert "covering set" in out
+
+    def test_report_command_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report", "--events", "2500"])
+        assert callable(args.handler)

@@ -1,0 +1,103 @@
+"""Unit tests for the PPM context-model predictor."""
+
+import pytest
+
+from repro.core.context import PPMPredictor
+from repro.core.predictors import PrefetchingCache
+from repro.errors import CacheConfigurationError
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CacheConfigurationError):
+            PPMPredictor(max_order=0)
+        with pytest.raises(CacheConfigurationError):
+            PPMPredictor(max_contexts=-1)
+
+
+class TestOrderOne:
+    def test_behaves_like_frequency_successor_model(self):
+        predictor = PPMPredictor(max_order=1)
+        for key in ["a", "b", "a", "b", "a", "c"]:
+            predictor.update(key)
+        assert predictor.predict("a", 1) == ["b"]
+        assert predictor.predict("a", 2) == ["b", "c"]
+
+    def test_unknown_context(self):
+        predictor = PPMPredictor(max_order=1)
+        predictor.update("a")
+        assert predictor.predict("ghost", 3) == []
+
+
+class TestHigherOrders:
+    def test_disambiguates_by_longer_context(self):
+        # The paper's own Figure 6 motivation: C is followed by D in
+        # the pattern (A C D) and by B in the pattern (X C B).  Order 1
+        # cannot separate them; order 2 can.
+        predictor = PPMPredictor(max_order=2)
+        for _ in range(10):
+            for key in ["a", "c", "d", "x", "c", "b"]:
+                predictor.update(key)
+        # History now ends ... x, c, b; simulate being mid-pattern:
+        predictor.update("a")
+        predictor.update("c")
+        assert predictor.predict("c", 1) == ["d"]
+        predictor.update("d")
+        predictor.update("x")
+        predictor.update("c")
+        assert predictor.predict("c", 1) == ["b"]
+
+    def test_escape_to_lower_order(self):
+        predictor = PPMPredictor(max_order=3)
+        for key in ["p", "q", "r"] * 5:
+            predictor.update(key)
+        # A brand-new context ending in a known file: order-3/2 miss,
+        # order-1 still predicts.
+        predictor.update("novel")
+        predictor.update("q")
+        assert predictor.predict("q", 1) == ["r"]
+
+    def test_predictions_deduplicated_across_orders(self):
+        predictor = PPMPredictor(max_order=2)
+        for key in ["a", "b", "a", "b"]:
+            predictor.update(key)
+        predictions = predictor.predict("b", 5)
+        assert len(predictions) == len(set(predictions))
+
+    def test_k_zero(self):
+        predictor = PPMPredictor(max_order=2)
+        predictor.update("a")
+        assert predictor.predict("a", 0) == []
+
+
+class TestStateBounds:
+    def test_context_budget_enforced(self):
+        predictor = PPMPredictor(max_order=1, max_contexts=10)
+        for i in range(100):
+            predictor.update(f"f{i}")
+        assert predictor.context_count() <= 10
+
+    def test_unbounded_by_default(self):
+        predictor = PPMPredictor(max_order=1)
+        for i in range(50):
+            predictor.update(f"f{i}")
+        assert predictor.context_count() == 49
+
+    def test_metadata_entries(self):
+        predictor = PPMPredictor(max_order=2)
+        for key in ["a", "b", "c", "a", "b", "c"]:
+            predictor.update(key)
+        assert predictor.metadata_entries() >= predictor.context_count()
+
+
+class TestInPrefetchingCache:
+    def test_reduces_fetches_on_cyclic_workload(self):
+        files = [f"f{i}" for i in range(30)]
+        sequence = files * 6
+        from repro.core.predictors import NoopPredictor
+
+        plain = PrefetchingCache(15, NoopPredictor())
+        plain.replay(sequence)
+        ppm = PrefetchingCache(15, PPMPredictor(max_order=2), prefetch_count=4)
+        ppm.replay(sequence)
+        assert ppm.demand_fetches < plain.demand_fetches

@@ -1,0 +1,122 @@
+"""Unit tests for cooperative peer caching."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import run_peer_caching
+from repro.sim.cooperative import PeerMetrics, PeerNetwork
+from repro.traces.events import Trace, TraceEvent
+
+
+class TestPeerMetrics:
+    def test_rates_sum_to_one(self):
+        metrics = PeerMetrics(local_hits=5, peer_hits=3, server_fetches=2)
+        assert metrics.accesses == 10
+        total = (
+            metrics.local_hit_rate
+            + metrics.peer_hit_rate
+            + metrics.server_fetch_rate
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty(self):
+        metrics = PeerMetrics()
+        assert metrics.local_hit_rate == 0.0
+        assert metrics.server_fetch_rate == 0.0
+
+
+class TestPeerNetwork:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            PeerNetwork(client_capacity=0)
+
+    def test_local_hit(self):
+        network = PeerNetwork(client_capacity=4)
+        network.access("c1", "a")
+        assert network.access("c1", "a") == "local"
+
+    def test_peer_hit_on_shared_file(self):
+        network = PeerNetwork(client_capacity=4)
+        assert network.access("c1", "shared") == "server"
+        assert network.access("c2", "shared") == "peer"
+
+    def test_peer_hit_copies_to_requester(self):
+        network = PeerNetwork(client_capacity=4)
+        network.access("c1", "shared")
+        network.access("c2", "shared")
+        # The copy is now local at c2.
+        assert network.access("c2", "shared") == "local"
+
+    def test_peer_lookup_does_not_promote_at_peer(self):
+        network = PeerNetwork(client_capacity=2)
+        network.access("c1", "a")
+        network.access("c1", "b")
+        # c2 pulls 'a' from c1; at c1, 'a' must remain the LRU victim.
+        network.access("c2", "a")
+        assert network.clients["c1"].victim() == "a"
+
+    def test_sharing_disabled_goes_to_server(self):
+        network = PeerNetwork(client_capacity=4, peer_sharing=False)
+        network.access("c1", "shared")
+        assert network.access("c2", "shared") == "server"
+
+    def test_grouping_prefetches_into_requester(self):
+        network = PeerNetwork(client_capacity=10, group_size=3, peer_sharing=False)
+        for _ in range(2):
+            for key in ["x", "y", "z"]:
+                network.access("c1", key)
+        # Evict the chain locally, then resume: the group rides along.
+        for i in range(12):
+            network.access("c1", f"junk{i}")
+        network.access("c1", "x")
+        assert network.access("c1", "y") == "local"
+
+    def test_replay_uses_client_ids(self):
+        trace = Trace()
+        trace.append(TraceEvent("a", client_id="east"))
+        trace.append(TraceEvent("a", client_id="west"))
+        network = PeerNetwork(client_capacity=4)
+        metrics = network.replay(trace)
+        assert metrics.accesses == 2
+        assert metrics.peer_hits == 1
+
+    def test_grouping_reduces_server_fetches(self):
+        chain = [f"f{i}" for i in range(30)]
+        trace = Trace()
+        for _ in range(6):
+            for key in chain:
+                trace.append(TraceEvent(key, client_id="c1"))
+        plain = PeerNetwork(client_capacity=15, group_size=1)
+        grouped = PeerNetwork(client_capacity=15, group_size=5)
+        plain_metrics = plain.replay(trace)
+        grouped_metrics = grouped.replay(trace)
+        assert grouped_metrics.server_fetches < plain_metrics.server_fetches
+
+
+class TestRunPeerCaching:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_peer_caching(events=8000, group_sizes=(1, 5))
+
+    def test_structure(self, figure):
+        assert figure.labels() == ["no-peers", "with-peers"]
+        assert figure.x_values() == [1.0, 5.0]
+
+    def test_peers_reduce_server_fetches(self, figure):
+        for x in (1.0, 5.0):
+            assert figure.get_series("with-peers").y_at(x) <= figure.get_series(
+                "no-peers"
+            ).y_at(x)
+
+    def test_grouping_helps_in_both_settings(self, figure):
+        for label in ("no-peers", "with-peers"):
+            series = figure.get_series(label)
+            assert series.y_at(5.0) <= series.y_at(1.0)
+
+    def test_rejects_bad_parameters(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_peer_caching(events=4000, group_sizes=())
+        with pytest.raises(ExperimentError):
+            run_peer_caching(events=4000, client_capacity=0)

@@ -1,0 +1,155 @@
+"""Unit tests for successor entropy (Equation 2)."""
+
+import math
+
+import pytest
+
+from repro.core.entropy import (
+    entropy_profile,
+    filtered_entropy_profile,
+    perplexity,
+    successor_entropy,
+    successor_entropy_breakdown,
+)
+from repro.errors import AnalysisError
+from repro.traces.events import Trace
+
+
+class TestSuccessorEntropy:
+    def test_deterministic_cycle_is_zero(self):
+        sequence = ["a", "b", "c"] * 20
+        assert successor_entropy(sequence) == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_equally_likely_successors_is_weighted_one_bit(self):
+        # 'a' alternates successors b and c; b and c always return to a.
+        sequence = ["a", "b", "a", "c"] * 25
+        breakdown = successor_entropy_breakdown(sequence)
+        weight_a, entropy_a = breakdown.per_file["a"]
+        assert entropy_a == pytest.approx(1.0, abs=0.01)
+        assert weight_a == pytest.approx(0.5, abs=0.01)
+        # b and c are deterministic: total = 0.5 * 1 bit.
+        assert breakdown.value == pytest.approx(0.5, abs=0.02)
+
+    def test_excludes_single_occurrence_files(self):
+        # A non-repeating stream must NOT look predictable.
+        sequence = [f"unique{i}" for i in range(100)]
+        assert successor_entropy(sequence) == 0.0
+        breakdown = successor_entropy_breakdown(sequence)
+        assert breakdown.included_files == 0
+        assert breakdown.excluded_files == 100
+
+    def test_single_occurrence_weight_not_renormalized(self):
+        # Half the mass is single-occurrence files: the weighted sum
+        # keeps their weight out rather than inflating repeating files.
+        repeating = ["a", "b"] * 25  # 50 events, perfectly alternating
+        noise = [f"u{i}" for i in range(50)]
+        interleaved = []
+        for pair, unique in zip(zip(repeating[::2], repeating[1::2]), noise):
+            interleaved.extend(pair)
+            interleaved.append(unique)
+        value = successor_entropy(interleaved)
+        # a's successors now include unique files (entropy > 0), but the
+        # unique files themselves contribute no terms.
+        breakdown = successor_entropy_breakdown(interleaved)
+        assert all(f in ("a", "b") for f in breakdown.per_file)
+        assert value > 0.0
+
+    def test_empty_and_tiny_sequences(self):
+        assert successor_entropy([]) == 0.0
+        assert successor_entropy(["a"]) == 0.0
+        assert successor_entropy(["a", "a"]) == pytest.approx(0.0)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AnalysisError):
+            successor_entropy(["a", "b"], symbol_length=0)
+
+    def test_uniform_random_approaches_log2(self):
+        import random
+
+        rng = random.Random(5)
+        symbols = [f"s{i}" for i in range(8)]
+        sequence = [symbols[rng.randrange(8)] for _ in range(20000)]
+        value = successor_entropy(sequence)
+        assert value == pytest.approx(3.0, abs=0.05)
+
+
+class TestSymbolLength:
+    def test_monotone_for_stochastic_source(self):
+        import random
+
+        rng = random.Random(11)
+        # A noisy cycle: mostly deterministic with 20% jumps.
+        files = [f"f{i}" for i in range(10)]
+        sequence = []
+        position = 0
+        for _ in range(5000):
+            sequence.append(files[position])
+            if rng.random() < 0.2:
+                position = rng.randrange(10)
+            else:
+                position = (position + 1) % 10
+        values = [successor_entropy(sequence, L) for L in (1, 2, 4, 8)]
+        assert values == sorted(values)
+
+    def test_deterministic_stays_zero_at_all_lengths(self):
+        sequence = ["a", "b", "c", "d"] * 50
+        for length in (1, 2, 5, 10):
+            assert successor_entropy(sequence, length) == pytest.approx(0.0, abs=1e-9)
+
+    def test_figure6_example_tracks_sequences(self, abc_trace):
+        # The Figure 6 sequence: tracking length-1 vs length-4 symbols
+        # must both be computable and non-negative.
+        seq = abc_trace.file_ids()
+        h1 = successor_entropy(seq, 1)
+        h4 = successor_entropy(seq, 4)
+        assert h1 >= 0.0
+        assert h4 >= 0.0
+
+    def test_entropy_profile(self):
+        sequence = ["a", "b", "a", "c"] * 25
+        profile = entropy_profile(sequence, [1, 2, 3])
+        assert [length for length, _ in profile] == [1, 2, 3]
+        assert all(value >= 0 for _, value in profile)
+
+
+class TestFilteredEntropy:
+    def test_large_filter_reduces_entropy_of_cyclic_noise(self):
+        import random
+
+        rng = random.Random(3)
+        # Noisy loops over a small working set: a large filter absorbs
+        # the noise-dominated repeats, leaving orderly first-touches.
+        files = [f"f{i}" for i in range(30)]
+        sequence = []
+        position = 0
+        for _ in range(6000):
+            sequence.append(files[position])
+            position = (position + 1) % 30 if rng.random() < 0.7 else rng.randrange(30)
+        trace = Trace.from_file_ids(sequence)
+        unfiltered = successor_entropy(sequence)
+        heavily_filtered = filtered_entropy_profile(trace, 100, [1])[0][1]
+        assert heavily_filtered < unfiltered
+
+    def test_rejects_bad_filter(self):
+        trace = Trace.from_file_ids(["a", "b"])
+        with pytest.raises(AnalysisError):
+            filtered_entropy_profile(trace, 0, [1])
+
+    def test_profile_shape(self):
+        trace = Trace.from_file_ids(["a", "b", "c"] * 50)
+        profile = filtered_entropy_profile(trace, 2, [1, 2])
+        assert len(profile) == 2
+
+
+class TestBreakdownAndPerplexity:
+    def test_top_contributors_ordering(self):
+        sequence = ["a", "b", "a", "c"] * 25 + ["x", "y"] * 25
+        breakdown = successor_entropy_breakdown(sequence)
+        contributors = breakdown.top_contributors(2)
+        assert contributors[0][0] == "a"
+        assert contributors[0][1] >= contributors[1][1]
+
+    def test_perplexity(self):
+        assert perplexity(0.0) == 1.0
+        assert perplexity(1.0) == 2.0
+        assert perplexity(3.0) == 8.0

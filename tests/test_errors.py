@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CacheConfigurationError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TraceFormatError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for error_class in (
+            TraceError,
+            TraceFormatError,
+            WorkloadError,
+            CacheConfigurationError,
+            SimulationError,
+            ExperimentError,
+            AnalysisError,
+        ):
+            assert issubclass(error_class, ReproError)
+
+    def test_trace_format_is_trace_error(self):
+        assert issubclass(TraceFormatError, TraceError)
+
+    def test_one_handler_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise WorkloadError("bad spec")
+
+
+class TestTraceFormatError:
+    def test_carries_context(self):
+        error = TraceFormatError("bad token", line_number=4, text="open")
+        assert error.line_number == 4
+        assert error.text == "open"
+        assert "line 4" in str(error)
+
+    def test_without_line_number(self):
+        error = TraceFormatError("bad token")
+        assert "line" not in str(error)

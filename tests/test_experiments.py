@@ -1,0 +1,207 @@
+"""Unit tests for the experiment definitions (small, fast instances).
+
+These verify structure and internal consistency of each figure
+reproduction; the paper-shape assertions on the real workloads live in
+test_workload_calibration.py.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    demand_fetches,
+    fetch_reduction,
+    improvement_over_lru,
+    make_server_cache,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_headline,
+    server_hit_rate,
+    workload_sequence,
+    workload_trace,
+)
+from repro.caching.lfu import LFUCache
+from repro.caching.lru import LRUCache
+from repro.core.aggregating_cache import AggregatingServerCache
+
+EVENTS = 4000  # tiny but structurally sufficient
+
+
+class TestWorkloadMemoization:
+    def test_same_object_returned(self):
+        a = workload_trace("server", EVENTS)
+        b = workload_trace("server", EVENTS)
+        assert a is b
+
+    def test_sequence_matches_trace(self):
+        assert list(workload_sequence("server", EVENTS)) == workload_trace(
+            "server", EVENTS
+        ).file_ids()
+
+    def test_unknown_workload(self):
+        with pytest.raises(ExperimentError):
+            workload_trace("mainframe", EVENTS)
+
+
+class TestFig3:
+    def test_structure(self):
+        figure = run_fig3(
+            workload="server",
+            events=EVENTS,
+            capacities=(50, 100),
+            group_sizes=(1, 3),
+        )
+        assert figure.labels() == ["lru", "g3"]
+        assert figure.x_values() == [50.0, 100.0]
+        assert figure.figure_id == "fig3-server"
+
+    def test_group_size_one_labelled_lru(self):
+        figure = run_fig3(
+            workload="write", events=EVENTS, capacities=(50,), group_sizes=(1,)
+        )
+        assert figure.labels() == ["lru"]
+
+    def test_fetches_decrease_with_capacity(self):
+        figure = run_fig3(
+            workload="server",
+            events=EVENTS,
+            capacities=(50, 200, 400),
+            group_sizes=(1,),
+        )
+        ys = figure.get_series("lru").ys()
+        assert ys[0] >= ys[1] >= ys[2]
+
+    def test_demand_fetches_helper_matches_series(self):
+        figure = run_fig3(
+            workload="server", events=EVENTS, capacities=(100,), group_sizes=(1,)
+        )
+        direct = demand_fetches(workload_sequence("server", EVENTS), 100, 1)
+        assert figure.get_series("lru").y_at(100) == direct
+
+    def test_fetch_reduction(self):
+        figure = run_fig3(
+            workload="server",
+            events=EVENTS,
+            capacities=(100,),
+            group_sizes=(1, 5),
+        )
+        reduction = fetch_reduction(figure, "g5", 100)
+        assert 0.0 <= reduction < 1.0
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ExperimentError):
+            run_fig3(workload="server", events=EVENTS, capacities=())
+
+
+class TestFig4:
+    def test_structure(self):
+        figure = run_fig4(
+            workload="workstation",
+            events=EVENTS,
+            filter_capacities=(50, 100),
+            server_capacity=50,
+            schemes=("g3", "lru"),
+        )
+        assert figure.labels() == ["g3", "lru"]
+        assert len(figure.get_series("lru")) == 2
+
+    def test_make_server_cache(self):
+        assert isinstance(make_server_cache("lru", 10), LRUCache)
+        assert isinstance(make_server_cache("lfu", 10), LFUCache)
+        aggregating = make_server_cache("g7", 10)
+        assert isinstance(aggregating, AggregatingServerCache)
+        assert aggregating.group_size == 7
+
+    def test_make_server_cache_rejects_unknown(self):
+        with pytest.raises(ExperimentError):
+            make_server_cache("belady", 10)
+
+    def test_server_hit_rate_percent_range(self):
+        rate = server_hit_rate(
+            workload_sequence("server", EVENTS), 20, LRUCache(50)
+        )
+        assert 0.0 <= rate <= 100.0
+
+    def test_improvement_over_lru(self):
+        figure = run_fig4(
+            workload="server",
+            events=EVENTS,
+            filter_capacities=(50, 100),
+            server_capacity=50,
+            schemes=("g5", "lru"),
+        )
+        improvements = improvement_over_lru(figure, "g5")
+        assert set(improvements) == {50.0, 100.0}
+
+
+class TestFig5:
+    def test_structure(self):
+        figure = run_fig5(
+            workload="server", events=EVENTS, list_sizes=(1, 2), policies=("lru",)
+        )
+        assert figure.labels() == ["LRU"]
+        assert figure.x_values() == [1.0, 2.0]
+
+    def test_oracle_flat(self):
+        figure = run_fig5(
+            workload="server",
+            events=EVENTS,
+            list_sizes=(1, 5, 10),
+            policies=("oracle",),
+        )
+        ys = figure.get_series("Oracle").ys()
+        assert ys[0] == ys[1] == ys[2]
+
+    def test_probabilities_in_unit_interval(self):
+        figure = run_fig5(workload="workstation", events=EVENTS, list_sizes=(1, 4))
+        for series in figure.series:
+            assert all(0.0 <= y <= 1.0 for y in series.ys())
+
+
+class TestFig7:
+    def test_structure(self):
+        figure = run_fig7(
+            workloads=("server", "write"), events=EVENTS, lengths=(1, 2, 3)
+        )
+        assert figure.labels() == ["server", "write"]
+        assert figure.x_values() == [1.0, 2.0, 3.0]
+
+    def test_entropies_nonnegative(self):
+        figure = run_fig7(workloads=("users",), events=EVENTS, lengths=(1, 5))
+        assert all(y >= 0 for y in figure.get_series("users").ys())
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ExperimentError):
+            run_fig7(workloads=("vax",), events=EVENTS)
+
+
+class TestFig8:
+    def test_structure(self):
+        figure = run_fig8(
+            workload="write",
+            events=EVENTS,
+            filter_capacities=(1, 10),
+            lengths=(1, 2),
+        )
+        assert figure.labels() == ["1", "10"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            run_fig8(workload="write", events=EVENTS, filter_capacities=())
+
+
+class TestHeadline:
+    def test_report_structure(self):
+        report = run_headline(events=EVENTS, client_capacity=100)
+        rows = report.to_rows()
+        assert rows[0] == ["claim", "paper", "measured"]
+        assert len(rows) >= 4
+        assert report.events == EVENTS
+
+    def test_reductions_are_fractions(self):
+        report = run_headline(events=EVENTS, client_capacity=100)
+        assert -1.0 < report.client_reduction_g2 < 1.0
+        assert -1.0 < report.client_reduction_g5 < 1.0

@@ -1,0 +1,122 @@
+"""Unit tests for the inter-file relationship graph."""
+
+import pytest
+
+from repro.core.graph import RelationshipGraph
+
+
+@pytest.fixture
+def figure1_graph():
+    """A graph shaped like the paper's Figure 1 example.
+
+    Edge weights encode the priority ordering: B->C stronger than B->D,
+    etc.  Seven files A..G.
+    """
+    graph = RelationshipGraph()
+    observations = (
+        [("A", "B")] * 3
+        + [("B", "C")] * 3
+        + [("B", "D")] * 2
+        + [("C", "A")] * 2
+        + [("D", "E")] * 3
+        + [("D", "F")] * 1
+        + [("E", "G")] * 2
+        + [("F", "G")] * 2
+        + [("G", "D")] * 1
+    )
+    for source, target in observations:
+        graph.add_observation(source, target)
+    return graph
+
+
+class TestConstruction:
+    def test_from_sequence(self):
+        graph = RelationshipGraph.from_sequence(["a", "b", "a", "b", "c"])
+        assert graph.edge_weight("a", "b") == 2
+        assert graph.edge_weight("b", "a") == 1
+        assert graph.edge_weight("b", "c") == 1
+
+    def test_nodes(self, figure1_graph):
+        assert figure1_graph.nodes() == set("ABCDEFG")
+
+    def test_edges_sorted_by_weight(self, figure1_graph):
+        edges = figure1_graph.edges()
+        weights = [edge.weight for edge in edges]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_empty_sequence(self):
+        graph = RelationshipGraph.from_sequence([])
+        assert graph.nodes() == set()
+        assert graph.edges() == []
+
+
+class TestQueries:
+    def test_successors_of_ranked(self, figure1_graph):
+        ranked = figure1_graph.successors_of("B")
+        assert ranked[0] == ("C", 3)
+        assert ranked[1] == ("D", 2)
+
+    def test_successors_of_k_limits(self, figure1_graph):
+        assert len(figure1_graph.successors_of("B", k=1)) == 1
+
+    def test_succession_probability(self, figure1_graph):
+        assert figure1_graph.succession_probability("B", "C") == pytest.approx(0.6)
+        assert figure1_graph.succession_probability("B", "Z") == 0.0
+        assert figure1_graph.succession_probability("Z", "B") == 0.0
+
+    def test_out_degree(self, figure1_graph):
+        assert figure1_graph.out_degree("B") == 2
+        assert figure1_graph.out_degree("Z") == 0
+
+
+class TestGrouping:
+    def test_group_follows_strongest_chain(self, figure1_graph):
+        group = figure1_graph.group_for("A", 3)
+        # A's strongest successor is B, whose strongest is C.
+        assert group == ["A", "B", "C"]
+
+    def test_group_skips_cycles(self, figure1_graph):
+        # C -> A -> B -> C would cycle; the builder must not revisit.
+        group = figure1_graph.group_for("C", 4)
+        assert len(group) == len(set(group))
+        assert group[0] == "C"
+
+    def test_group_size_one(self, figure1_graph):
+        assert figure1_graph.group_for("A", 1) == ["A"]
+
+    def test_group_size_zero(self, figure1_graph):
+        assert figure1_graph.group_for("A", 0) == []
+
+    def test_group_with_no_metadata(self):
+        graph = RelationshipGraph()
+        assert graph.group_for("lonely", 5) == ["lonely"]
+
+    def test_covering_groups_cover_all_nodes(self, figure1_graph):
+        groups = figure1_graph.covering_groups(3)
+        covered = {member for group in groups for member in group}
+        assert covered == figure1_graph.nodes()
+
+    def test_covering_groups_may_overlap(self):
+        # Hub 'h' follows both 'a' and 'b' strongly: it should appear in
+        # multiple groups rather than forcing a partition.
+        graph = RelationshipGraph()
+        for _ in range(5):
+            graph.add_observation("a", "h")
+            graph.add_observation("b", "h")
+            graph.add_observation("h", "a")
+        graph._access_counts.update({"a": 10, "b": 10, "h": 10})
+        groups = graph.covering_groups(2)
+        containing_h = [g for g in groups if "h" in g]
+        assert len(containing_h) >= 2
+
+    def test_covering_groups_minimality(self, figure1_graph):
+        # A node already covered must not seed its own group.
+        groups = figure1_graph.covering_groups(7)
+        assert len(groups) < len(figure1_graph.nodes())
+
+
+class TestNetworkxExport:
+    def test_export(self, figure1_graph):
+        nx_graph = figure1_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 7
+        assert nx_graph["B"]["C"]["weight"] == 3

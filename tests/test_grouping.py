@@ -1,0 +1,189 @@
+"""Unit tests for dynamic group construction."""
+
+import pytest
+
+from repro.core.grouping import Group, GroupBuilder
+from repro.core.successors import SuccessorTracker
+from repro.errors import CacheConfigurationError
+
+
+@pytest.fixture
+def chain_tracker():
+    """Tracker trained on the deterministic chain a->b->c->d->e (x3)."""
+    tracker = SuccessorTracker(capacity=4)
+    for _ in range(3):
+        tracker.observe_sequence(["a", "b", "c", "d", "e"])
+    return tracker
+
+
+class TestGroup:
+    def test_accessors(self):
+        group = Group(members=("a", "b", "c"))
+        assert group.demanded == "a"
+        assert group.predicted == ("b", "c")
+        assert len(group) == 3
+        assert "b" in group
+        assert list(group) == ["a", "b", "c"]
+
+
+class TestGroupBuilder:
+    def test_rejects_nonpositive_size(self, chain_tracker):
+        with pytest.raises(CacheConfigurationError):
+            GroupBuilder(chain_tracker, 0)
+        builder = GroupBuilder(chain_tracker, 3)
+        with pytest.raises(CacheConfigurationError):
+            builder.build("a", size=0)
+
+    def test_transitive_chain(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 4)
+        group = builder.build("a")
+        assert group.members == ("a", "b", "c", "d")
+
+    def test_size_override(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 4)
+        assert len(builder.build("a", size=2)) == 2
+
+    def test_best_effort_on_short_chain(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 10)
+        group = builder.build("d")
+        # d -> e -> a -> b -> c covers the whole chain; nothing more
+        # exists, so the group stops at 5 members.
+        assert group.members == ("d", "e", "a", "b", "c")
+
+    def test_singleton_without_metadata(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 5)
+        assert builder.build("ghost").members == ("ghost",)
+
+    def test_no_duplicates_with_cycles(self):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "b", "a", "b", "a"])
+        builder = GroupBuilder(tracker, 5)
+        group = builder.build("a")
+        assert len(set(group.members)) == len(group.members)
+
+    def test_cycle_falls_through_to_next_likely(self):
+        # a's successors: most recent c, then b; b -> a (cycle).
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "b", "a", "c"])
+        builder = GroupBuilder(tracker, 3)
+        group = builder.build("a")
+        assert group.demanded == "a"
+        assert set(group.predicted) == {"b", "c"}
+
+    def test_fallback_uses_earlier_members(self):
+        # Chain a->b dead-ends at b, but a has a second successor d.
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "d"])
+        tracker.reset_stream()
+        tracker.observe_sequence(["a", "b"])
+        builder = GroupBuilder(tracker, 3)
+        group = builder.build("a")
+        assert group.members == ("a", "b", "d")
+
+    def test_group_members_are_predicted_order(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 5)
+        group = builder.build("b")
+        assert group.members == ("b", "c", "d", "e", "a")
+
+
+class TestTransitiveSuccessors:
+    def test_pure_chain(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 5)
+        assert builder.transitive_successors("a", 3) == ["b", "c", "d"]
+
+    def test_stops_at_cycle(self):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "b", "a", "b"])
+        builder = GroupBuilder(tracker, 5)
+        # a -> b -> a would revisit; the pure chain stops at b.
+        assert builder.transitive_successors("a", 10) == ["b"]
+
+    def test_stops_at_unknown(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 5)
+        # e -> a -> ... works; but a file with no metadata yields [].
+        assert builder.transitive_successors("ghost", 5) == []
+
+    def test_length_zero(self, chain_tracker):
+        builder = GroupBuilder(chain_tracker, 5)
+        assert builder.transitive_successors("a", 0) == []
+
+
+class TestAdaptiveGroupBuilder:
+    def _tracker_with_unstable_middle(self):
+        from repro.core.successors import SuccessorTracker
+
+        tracker = SuccessorTracker(capacity=8)
+        for _ in range(3):
+            tracker.observe_sequence(["a", "b", "c", "d", "e"])
+            tracker.reset_stream()
+        # Make 'c' unpredictable: three distinct recent successors.
+        for noise in ["x", "y", "z"]:
+            tracker.observe_transition("c", noise)
+        return tracker
+
+    def test_stops_at_unstable_frontier(self):
+        from repro.core.grouping import AdaptiveGroupBuilder
+
+        builder = AdaptiveGroupBuilder(
+            self._tracker_with_unstable_middle(),
+            max_size=5,
+            min_size=1,
+            degree_threshold=2,
+        )
+        # a -> b -> c, then c is unstable: stop.
+        assert builder.build("a").members == ("a", "b", "c")
+
+    def test_full_depth_on_stable_chain(self):
+        from repro.core.grouping import AdaptiveGroupBuilder
+
+        builder = AdaptiveGroupBuilder(
+            self._tracker_with_unstable_middle(),
+            max_size=5,
+            min_size=1,
+            degree_threshold=2,
+        )
+        # d -> e is stable; e has no observed successor (streams were
+        # reset between passes), so the chain ends there.
+        assert builder.build("d").members == ("d", "e")
+
+    def test_min_size_forces_extension(self):
+        from repro.core.grouping import AdaptiveGroupBuilder
+
+        tracker = self._tracker_with_unstable_middle()
+        builder = AdaptiveGroupBuilder(
+            tracker, max_size=5, min_size=2, degree_threshold=1
+        )
+        # 'c' itself is the demanded file and unstable, but min_size=2
+        # still ships one companion (its most recent successor).
+        built = builder.build("c")
+        assert len(built) == 2
+
+    def test_rejects_bad_parameters(self):
+        from repro.core.grouping import AdaptiveGroupBuilder
+        from repro.core.successors import SuccessorTracker
+
+        tracker = SuccessorTracker()
+        with pytest.raises(CacheConfigurationError):
+            AdaptiveGroupBuilder(tracker, max_size=5, min_size=0)
+        with pytest.raises(CacheConfigurationError):
+            AdaptiveGroupBuilder(tracker, max_size=5, min_size=6)
+        with pytest.raises(CacheConfigurationError):
+            AdaptiveGroupBuilder(tracker, degree_threshold=0)
+
+    def test_singleton_for_unknown_file(self):
+        from repro.core.grouping import AdaptiveGroupBuilder
+
+        builder = AdaptiveGroupBuilder(self._tracker_with_unstable_middle())
+        assert builder.build("ghost").members == ("ghost",)
+
+    def test_works_inside_aggregating_cache(self):
+        from repro.core.aggregating_cache import AggregatingClientCache
+        from repro.core.grouping import AdaptiveGroupBuilder
+
+        cache = AggregatingClientCache(capacity=20, group_size=5)
+        cache.builder = AdaptiveGroupBuilder(cache.tracker, max_size=10)
+        files = [f"f{i}" for i in range(40)]
+        cache.replay(files * 6)
+        lru = AggregatingClientCache(capacity=20, group_size=1)
+        lru.replay(files * 6)
+        assert cache.demand_fetches < lru.demand_fetches

@@ -1,0 +1,75 @@
+"""Unit tests for multi-level cache hierarchies."""
+
+import pytest
+
+from repro.caching.base import NullCache
+from repro.caching.lru import LRUCache
+from repro.caching.multilevel import MultiLevelHierarchy, TwoLevelHierarchy
+
+
+class TestTwoLevel:
+    def test_server_sees_only_client_misses(self):
+        hierarchy = TwoLevelHierarchy(LRUCache(2), LRUCache(10))
+        sequence = ["a", "b", "a", "b", "c", "a"]
+        hierarchy.replay(sequence)
+        # Client hits: a, b (after warm). Server requests = client misses.
+        result = hierarchy.result()
+        assert result.server_requests == result.client_stats.misses
+        assert result.client_stats.accesses == len(sequence)
+
+    def test_null_client_forwards_everything(self):
+        hierarchy = TwoLevelHierarchy(None, LRUCache(10))
+        hierarchy.replay(["a", "b", "a"])
+        assert hierarchy.server.stats.accesses == 3
+        assert isinstance(hierarchy.client, NullCache)
+
+    def test_server_hit_rate(self):
+        hierarchy = TwoLevelHierarchy(LRUCache(1), LRUCache(10))
+        hierarchy.replay(["a", "b", "a", "b", "a", "b"])
+        result = hierarchy.result()
+        # Client (capacity 1) misses every access; server warms after
+        # the first a and b.
+        assert result.server_requests == 6
+        assert result.server_stats.hits == 4
+        assert result.server_hit_rate == pytest.approx(4 / 6)
+
+    def test_end_to_end_hit_rate(self):
+        hierarchy = TwoLevelHierarchy(LRUCache(1), LRUCache(10))
+        hierarchy.replay(["a", "b", "a", "b"])
+        result = hierarchy.result()
+        # 2 cold store fetches out of 4 accesses.
+        assert result.end_to_end_hit_rate == pytest.approx(0.5)
+
+    def test_access_returns_any_level_hit(self):
+        hierarchy = TwoLevelHierarchy(LRUCache(1), LRUCache(10))
+        assert hierarchy.access("a") is False
+        assert hierarchy.access("a") is True  # client hit
+        hierarchy.access("b")
+        assert hierarchy.access("a") is False  # client miss, server hit
+
+
+class TestMultiLevel:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            MultiLevelHierarchy([])
+
+    def test_hit_level_reporting(self):
+        levels = [LRUCache(1), LRUCache(2), LRUCache(4)]
+        hierarchy = MultiLevelHierarchy(levels)
+        assert hierarchy.access("a") == -1  # all miss
+        assert hierarchy.access("a") == 0  # L0 hit
+        hierarchy.access("b")
+        assert hierarchy.access("a") == 1  # displaced from L0, hits L1
+
+    def test_replay_returns_per_level_stats(self):
+        hierarchy = MultiLevelHierarchy([LRUCache(1), LRUCache(2)])
+        stats = hierarchy.replay(["a", "b", "a", "b"])
+        assert len(stats) == 2
+        assert stats[0].accesses == 4
+        assert stats[1].accesses == stats[0].misses
+
+    def test_three_levels_filter_progressively(self):
+        hierarchy = MultiLevelHierarchy([LRUCache(2), LRUCache(4), LRUCache(8)])
+        sequence = [f"f{i % 6}" for i in range(60)]
+        stats = hierarchy.replay(sequence)
+        assert stats[0].accesses >= stats[1].accesses >= stats[2].accesses

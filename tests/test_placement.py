@@ -1,0 +1,176 @@
+"""Unit tests for the placement subsystem."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.placement.disk import (
+    DiskLayout,
+    SeekStats,
+    layout_from_order,
+    organ_pipe_order,
+)
+from repro.placement.strategies import (
+    PLACEMENTS,
+    compare_placements,
+    frequency_layout,
+    group_layout,
+    name_order_layout,
+    random_layout,
+    replicated_group_layout,
+)
+
+
+class TestSeekStats:
+    def test_record_and_mean(self):
+        stats = SeekStats()
+        stats.record(10)
+        stats.record(0)
+        stats.record(20)
+        assert stats.requests == 3
+        assert stats.mean_distance == pytest.approx(10.0)
+        assert stats.max_distance == 20
+
+    def test_empty(self):
+        assert SeekStats().mean_distance == 0.0
+
+
+class TestDiskLayout:
+    def test_positions_and_capacity(self):
+        layout = DiskLayout(["a", "b", None, "a"])
+        assert layout.capacity == 4
+        assert layout.used_slots == 3
+        assert layout.replica_count("a") == 2
+        assert layout.replica_count("z") == 0
+
+    def test_nearest_position_picks_closest_replica(self):
+        layout = DiskLayout(["a", None, None, None, "a"])
+        assert layout.nearest_position("a", 1) == 0
+        assert layout.nearest_position("a", 3) == 4
+        assert layout.nearest_position("a", 0) == 0
+
+    def test_missing_file_raises(self):
+        layout = DiskLayout(["a"])
+        with pytest.raises(SimulationError, match="not placed"):
+            layout.nearest_position("ghost", 0)
+
+    def test_replay_accounts_seeks(self):
+        layout = DiskLayout(["a", "b", "c"])
+        stats = layout.replay(["a", "c", "b"], start=0)
+        # head: 0 -> 0 (dist 0), -> 2 (dist 2), -> 1 (dist 1)
+        assert stats.total_distance == 3
+        assert stats.requests == 3
+
+    def test_replay_uses_nearest_replica(self):
+        single = DiskLayout(["x", "f1", "f2", "f3", "f4"])
+        replicated = DiskLayout(["x", "f1", "f2", "f3", "f4", "x"])
+        sequence = ["x", "f4", "x", "f4", "x"]
+        assert (
+            replicated.replay(sequence).total_distance
+            < single.replay(sequence).total_distance
+        )
+
+    def test_replication_overhead(self):
+        assert DiskLayout(["a", "b"]).replication_overhead() == 0.0
+        assert DiskLayout(["a", "b", "a"]).replication_overhead() == pytest.approx(0.5)
+        assert DiskLayout([]).replication_overhead() == 0.0
+
+    def test_layout_from_order_with_capacity(self):
+        layout = layout_from_order(["a", "b"], capacity=5)
+        assert layout.capacity == 5
+        assert layout.used_slots == 2
+        with pytest.raises(SimulationError):
+            layout_from_order(["a", "b"], capacity=1)
+
+
+class TestOrganPipe:
+    def test_hottest_in_middle(self):
+        order = organ_pipe_order({"hot": 100, "warm": 10, "cold": 1})
+        assert order[1] == "hot"
+
+    def test_even_count_stays_in_bounds(self):
+        order = organ_pipe_order({f"f{i}": 10 - i for i in range(4)})
+        assert sorted(order) == [f"f{i}" for i in range(4)]
+        assert len(order) == 4
+
+    def test_single_file(self):
+        assert organ_pipe_order({"only": 5}) == ["only"]
+
+    def test_deterministic_ties(self):
+        a = organ_pipe_order({"a": 1, "b": 1, "c": 1})
+        b = organ_pipe_order({"a": 1, "b": 1, "c": 1})
+        assert a == b
+
+
+class TestStrategies:
+    CHAIN = [f"f{i:02d}" for i in range(20)]
+
+    def _chained_sequence(self):
+        return self.CHAIN * 10
+
+    def test_name_order_places_all(self):
+        layout = name_order_layout(self._chained_sequence())
+        assert set(layout.files()) == set(self.CHAIN)
+
+    def test_random_deterministic(self):
+        a = random_layout(self._chained_sequence(), seed=3)
+        b = random_layout(self._chained_sequence(), seed=3)
+        assert list(a.slots) == list(b.slots)
+
+    def test_frequency_layout_places_all(self):
+        layout = frequency_layout(self._chained_sequence())
+        assert layout.used_slots == len(self.CHAIN)
+
+    def test_group_layout_collocates_chain(self):
+        sequence = self._chained_sequence()
+        grouped = group_layout(sequence, group_size=5)
+        stats = grouped.replay(sequence)
+        scattered = random_layout(sequence, seed=1).replay(sequence)
+        assert stats.mean_distance < scattered.mean_distance
+
+    def test_group_layout_is_partition(self):
+        layout = group_layout(self._chained_sequence(), group_size=5)
+        assert layout.replication_overhead() == 0.0
+
+    def test_replicated_layout_bounds_replicas(self):
+        # A hub followed by many contexts joins several groups.
+        sequence = []
+        for i in range(8):
+            sequence += ["hub", f"a{i}", f"b{i}", "hub", f"a{i}", f"b{i}"]
+        layout = replicated_group_layout(sequence, group_size=3, max_replicas=2)
+        assert layout.replica_count("hub") <= 2
+        assert layout.replica_count("hub") >= 1
+
+    def test_replicated_layout_places_everything(self):
+        sequence = self._chained_sequence()
+        layout = replicated_group_layout(sequence, group_size=4)
+        assert set(layout.files()) == set(self.CHAIN)
+
+    def test_registry_complete(self):
+        sequence = self._chained_sequence()
+        for name, factory in PLACEMENTS.items():
+            layout = factory(sequence, 5)
+            assert set(layout.files()) >= set(self.CHAIN), name
+
+
+class TestComparePlacements:
+    def test_grouped_beats_random_on_chains(self):
+        chain = [f"f{i:02d}" for i in range(40)]
+        sequence = chain * 20
+        half = len(sequence) // 2
+        results = compare_placements(sequence[:half], sequence[half:], group_size=8)
+        assert results["grouped"]["mean_seek"] < results["random"]["mean_seek"]
+        assert results["grouped"]["mean_seek"] < results["frequency"]["mean_seek"]
+
+    def test_only_requested_strategies(self):
+        sequence = ["a", "b"] * 50
+        results = compare_placements(
+            sequence[:50], sequence[50:], strategies=["random"]
+        )
+        assert list(results) == ["random"]
+
+    def test_unseen_test_files_skipped(self):
+        results = compare_placements(
+            ["a", "b"] * 10, ["a", "zzz", "b"], strategies=["name"]
+        )
+        # 'zzz' was never trained: replay must not raise.
+        assert results["name"]["mean_seek"] >= 0.0

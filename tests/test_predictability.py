@@ -1,0 +1,128 @@
+"""Unit tests for the predictability visualization tooling."""
+
+import pytest
+
+from repro.analysis.predictability import (
+    FilePredictability,
+    entropy_timeline,
+    per_file_predictability,
+    predictability_heatmap,
+    profile_sequence,
+)
+from repro.errors import AnalysisError
+
+
+class TestEntropyTimeline:
+    def test_phase_change_visible(self):
+        # Deterministic phase then a noisy phase: the timeline must
+        # show low entropy first, higher later.
+        import random
+
+        rng = random.Random(0)
+        deterministic = ["a", "b", "c", "d"] * 250
+        noisy = [f"n{rng.randrange(40)}" for _ in range(1000)]
+        # Repeat the noisy alphabet so files repeat (non-repeats are
+        # excluded from the metric).
+        noisy = noisy + noisy
+        samples = entropy_timeline(deterministic + noisy, window=500)
+        first = samples[0][1]
+        last = samples[-1][1]
+        assert first < 0.1
+        assert last > 1.0
+
+    def test_sample_positions(self):
+        samples = entropy_timeline(["a", "b"] * 500, window=200)
+        starts = [start for start, _ in samples]
+        assert starts[0] == 0
+        assert all(b - a == 200 for a, b in zip(starts, starts[1:]))
+
+    def test_stride_overlap(self):
+        dense = entropy_timeline(["a", "b"] * 500, window=200, stride=100)
+        sparse = entropy_timeline(["a", "b"] * 500, window=200)
+        assert len(dense) > len(sparse)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(AnalysisError):
+            entropy_timeline(["a", "b"], window=1)
+        with pytest.raises(AnalysisError):
+            entropy_timeline(["a", "b"], window=5, stride=-1)
+
+    def test_short_sequence(self):
+        samples = entropy_timeline(["a", "b", "a"], window=10)
+        assert len(samples) == 1
+
+
+class TestPerFilePredictability:
+    def test_contribution_ordering(self):
+        sequence = ["a", "x", "a", "y", "a", "z", "a", "x"] * 10 + ["b", "c"] * 20
+        profiles = per_file_predictability(sequence)
+        assert profiles[0].file_id == "a"
+        contributions = [p.contribution for p in profiles]
+        assert contributions == sorted(contributions, reverse=True)
+
+    def test_excludes_rare_files(self):
+        sequence = ["a", "b"] * 10 + ["once"]
+        profiles = per_file_predictability(sequence, minimum_accesses=2)
+        assert all(p.file_id != "once" for p in profiles)
+
+    def test_rejects_bad_minimum(self):
+        with pytest.raises(AnalysisError):
+            per_file_predictability(["a"], minimum_accesses=1)
+
+    def test_fields_consistent(self):
+        sequence = ["a", "b", "a", "c"] * 25
+        for profile in per_file_predictability(sequence):
+            assert profile.accesses >= 2
+            assert 0 < profile.weight <= 1
+            assert profile.entropy >= 0
+            assert profile.contribution == pytest.approx(
+                profile.weight * profile.entropy
+            )
+
+
+class TestHeatmap:
+    def test_length_capped_at_width(self):
+        samples = [(i, float(i % 7)) for i in range(200)]
+        strip = predictability_heatmap(samples, width=50)
+        assert len(strip) == 50
+
+    def test_short_series_kept(self):
+        samples = [(0, 1.0), (1, 2.0)]
+        assert len(predictability_heatmap(samples, width=50)) == 2
+
+    def test_ceiling_scales(self):
+        samples = [(0, 1.0)]
+        hot = predictability_heatmap(samples, ceiling=1.0)
+        cool = predictability_heatmap(samples, ceiling=10.0)
+        assert hot != cool
+
+    def test_empty(self):
+        assert predictability_heatmap([]) == ""
+
+    def test_all_zero(self):
+        strip = predictability_heatmap([(0, 0.0), (1, 0.0)])
+        assert set(strip) == {" "}
+
+
+class TestProfileSequence:
+    def test_full_profile(self):
+        sequence = ["a", "b", "c", "d"] * 300
+        profile = profile_sequence(sequence, name="loop", window=400)
+        assert profile.name == "loop"
+        assert profile.events == 1200
+        assert profile.overall_entropy == pytest.approx(0.0, abs=1e-9)
+        assert profile.timeline
+        rendering = profile.render()
+        assert "loop" in rendering
+        assert "bits" in rendering
+
+    def test_empty_sequence(self):
+        profile = profile_sequence([], name="empty")
+        assert profile.events == 0
+        assert profile.overall_entropy == 0.0
+        assert "empty" in profile.render()
+
+    def test_hotspot_count(self):
+        sequence = [f"f{i % 12}" for i in range(600)]
+        profile = profile_sequence(sequence, hotspot_count=3)
+        assert len(profile.hotspots) <= 3

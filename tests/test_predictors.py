@@ -1,0 +1,138 @@
+"""Unit tests for related-work predictors and the prefetching harness."""
+
+import pytest
+
+from repro.core.predictors import (
+    PREDICTORS,
+    FirstSuccessorPredictor,
+    LastSuccessorPredictor,
+    NoopPredictor,
+    PrefetchingCache,
+    ProbabilityGraphPredictor,
+)
+from repro.errors import CacheConfigurationError
+
+
+class TestNoopPredictor:
+    def test_predicts_nothing(self):
+        predictor = NoopPredictor()
+        predictor.update("a")
+        assert predictor.predict("a", 5) == []
+
+
+class TestLastSuccessor:
+    def test_tracks_latest(self):
+        predictor = LastSuccessorPredictor()
+        for key in ["a", "b", "a", "c"]:
+            predictor.update(key)
+        assert predictor.predict("a", 1) == ["c"]
+        assert predictor.predict("b", 1) == ["a"]
+
+    def test_unknown_file(self):
+        predictor = LastSuccessorPredictor()
+        predictor.update("a")
+        assert predictor.predict("a", 1) == []
+        assert predictor.predict("ghost", 1) == []
+
+    def test_k_zero(self):
+        predictor = LastSuccessorPredictor()
+        for key in ["a", "b"]:
+            predictor.update(key)
+        assert predictor.predict("a", 0) == []
+
+
+class TestFirstSuccessor:
+    def test_never_adapts(self):
+        predictor = FirstSuccessorPredictor()
+        for key in ["a", "b", "a", "c", "a", "d"]:
+            predictor.update(key)
+        assert predictor.predict("a", 1) == ["b"]
+
+
+class TestProbabilityGraph:
+    def test_lookahead_window_counts(self):
+        predictor = ProbabilityGraphPredictor(lookahead=2, min_chance=0.0)
+        for key in ["a", "b", "c"]:
+            predictor.update(key)
+        # Within lookahead 2 of 'a': b and c.
+        assert set(predictor.predict("a", 5)) == {"b", "c"}
+
+    def test_threshold_prunes_rare_followers(self):
+        predictor = ProbabilityGraphPredictor(lookahead=1, min_chance=0.5)
+        for key in ["a", "b"] * 9 + ["a", "z"]:
+            predictor.update(key)
+        assert predictor.predict("a", 5) == ["b"]
+
+    def test_self_edges_excluded(self):
+        predictor = ProbabilityGraphPredictor(lookahead=2, min_chance=0.0)
+        for key in ["a", "a", "b"]:
+            predictor.update(key)
+        assert "a" not in predictor.predict("a", 5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CacheConfigurationError):
+            ProbabilityGraphPredictor(lookahead=0)
+        with pytest.raises(CacheConfigurationError):
+            ProbabilityGraphPredictor(min_chance=1.5)
+
+    def test_strongest_first(self):
+        predictor = ProbabilityGraphPredictor(lookahead=1, min_chance=0.0)
+        for key in ["a", "b", "a", "b", "a", "c"]:
+            predictor.update(key)
+        assert predictor.predict("a", 2) == ["b", "c"]
+
+
+class TestRegistry:
+    def test_all_constructible(self):
+        for name, constructor in PREDICTORS.items():
+            predictor = constructor()
+            predictor.update("x")
+            assert predictor.name == name or predictor.name  # named
+
+
+class TestPrefetchingCache:
+    def test_noop_equals_plain_lru(self):
+        from repro.caching.lru import LRUCache
+
+        sequence = [f"f{i % 9}" for i in range(300)]
+        prefetching = PrefetchingCache(5, NoopPredictor())
+        prefetching.replay(sequence)
+        plain = LRUCache(5)
+        for key in sequence:
+            plain.access(key)
+        assert prefetching.demand_fetches == plain.stats.misses
+        assert prefetching.prefetches == 0
+
+    def test_last_successor_reduces_fetches_on_chain(self):
+        files = [f"f{i}" for i in range(30)]
+        sequence = files * 6
+        plain = PrefetchingCache(15, NoopPredictor())
+        plain.replay(sequence)
+        predictive = PrefetchingCache(15, LastSuccessorPredictor(), prefetch_count=1)
+        predictive.replay(sequence)
+        assert predictive.demand_fetches < plain.demand_fetches
+
+    def test_prefetch_counter(self):
+        # Capacity 2 forces b out before the final access to a, so the
+        # prediction a->b is non-resident and actually prefetched.
+        cache = PrefetchingCache(2, LastSuccessorPredictor(), prefetch_count=1)
+        cache.replay(["a", "b", "c", "a"])
+        assert cache.prefetches >= 1
+
+    def test_prefetch_on_hit_flag(self):
+        quiet = PrefetchingCache(
+            10, LastSuccessorPredictor(), prefetch_count=1, prefetch_on_hit=False
+        )
+        quiet.replay(["a", "b"] * 20)
+        # After warm-up everything hits, so prefetching stops.
+        noisy = PrefetchingCache(
+            10, LastSuccessorPredictor(), prefetch_count=1, prefetch_on_hit=True
+        )
+        noisy.replay(["a", "b"] * 20)
+        assert quiet.prefetches <= noisy.prefetches
+
+    def test_capacity(self):
+        cache = PrefetchingCache(4, LastSuccessorPredictor(), prefetch_count=3)
+        for i in range(100):
+            cache.access(f"f{i % 11}")
+        assert len(cache) <= 4

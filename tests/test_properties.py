@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching import POLICIES, make_cache
+from repro.caching.lru import LRUCache
+from repro.core.aggregating_cache import AggregatingClientCache
+from repro.core.entropy import successor_entropy, successor_entropy_breakdown
+from repro.core.grouping import GroupBuilder
+from repro.core.successors import (
+    LFUSuccessorList,
+    LRUSuccessorList,
+    SuccessorTracker,
+    evaluate_successor_misses,
+)
+from repro.traces.events import Trace
+from repro.traces.filters import cache_filtered
+
+#: Small alphabets make collisions (hits, repeats) likely.
+keys = st.text(alphabet="abcdefgh", min_size=1, max_size=2)
+sequences = st.lists(keys, min_size=0, max_size=300)
+capacities = st.integers(min_value=1, max_value=12)
+
+
+class TestCacheInvariants:
+    @given(sequence=sequences, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_lru_never_exceeds_capacity_and_counts_balance(self, sequence, capacity):
+        cache = LRUCache(capacity)
+        for key in sequence:
+            cache.access(key)
+        assert len(cache) <= capacity
+        assert cache.stats.hits + cache.stats.misses == len(sequence)
+
+    @given(
+        sequence=sequences,
+        capacity=capacities,
+        policy=st.sampled_from(sorted(POLICIES)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_policy_respects_capacity(self, sequence, capacity, policy):
+        cache = make_cache(policy, capacity)
+        for key in sequence:
+            cache.access(key)
+        assert len(cache) <= capacity
+        assert cache.stats.accesses == len(sequence)
+
+    @given(sequence=sequences, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_access_after_miss_is_hit(self, sequence, capacity):
+        cache = LRUCache(capacity)
+        for key in sequence:
+            if not cache.access(key):
+                # The key was just admitted at MRU: an immediate
+                # re-access must hit.
+                assert cache.access(key) is True
+
+    @given(sequence=sequences, capacity=capacities, group=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_aggregating_cache_capacity_and_accounting(
+        self, sequence, capacity, group
+    ):
+        cache = AggregatingClientCache(capacity=capacity, group_size=group)
+        for key in sequence:
+            cache.access(key)
+        assert len(cache) <= capacity
+        assert cache.stats.accesses == len(sequence)
+        assert cache.fetch_log.group_fetches == cache.stats.misses
+        assert cache.fetch_log.files_retrieved >= cache.fetch_log.group_fetches
+
+    @given(sequence=sequences, capacity=capacities)
+    @settings(max_examples=40, deadline=None)
+    def test_larger_lru_never_misses_more(self, sequence, capacity):
+        # LRU's inclusion property: a larger LRU cache contains the
+        # smaller one's residents, so misses are monotone in capacity.
+        small = LRUCache(capacity)
+        large = LRUCache(capacity + 3)
+        for key in sequence:
+            small.access(key)
+            large.access(key)
+        assert large.stats.misses <= small.stats.misses
+
+
+class TestFilterInvariants:
+    @given(sequence=sequences, capacity=capacities)
+    @settings(max_examples=50, deadline=None)
+    def test_filtered_stream_is_subsequence_of_miss_count(self, sequence, capacity):
+        trace = Trace.from_file_ids(sequence)
+        cache = LRUCache(capacity)
+        filtered = cache_filtered(trace, cache)
+        assert len(filtered) == cache.stats.misses
+        assert len(filtered) <= len(trace)
+
+    @given(sequence=sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_filter_capacity_one_removes_exactly_immediate_repeats(self, sequence):
+        trace = Trace.from_file_ids(sequence)
+        filtered = cache_filtered(trace, LRUCache(1)).file_ids()
+        expected = [
+            key
+            for index, key in enumerate(sequence)
+            if index == 0 or sequence[index - 1] != key
+        ]
+        assert filtered == expected
+
+
+class TestSuccessorInvariants:
+    @given(sequence=sequences, capacity=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_lru_list_bounded_and_most_recent_first(self, sequence, capacity):
+        slist = LRUSuccessorList(capacity)
+        for key in sequence:
+            slist.observe(key)
+        assert len(slist) <= capacity
+        if sequence:
+            assert slist.most_likely() == sequence[-1]
+
+    @given(sequence=sequences, capacity=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_lfu_list_bounded_and_counts_positive(self, sequence, capacity):
+        slist = LFUSuccessorList(capacity)
+        for key in sequence:
+            slist.observe(key)
+        assert len(slist) <= capacity
+        for successor in slist.predict():
+            assert slist.count_of(successor) >= 1
+
+    @given(sequence=sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_oracle_never_worse_than_bounded_policies(self, sequence):
+        oracle = evaluate_successor_misses(sequence, "oracle", 1).misses
+        for policy in ("lru", "lfu"):
+            bounded = evaluate_successor_misses(sequence, policy, 2).misses
+            assert bounded >= oracle
+
+    @given(sequence=sequences, capacity=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_miss_probability_in_unit_interval(self, sequence, capacity):
+        report = evaluate_successor_misses(sequence, "lru", capacity)
+        assert 0.0 <= report.miss_probability <= 1.0
+        assert report.misses <= report.opportunities
+
+
+class TestGroupInvariants:
+    @given(sequence=sequences, group=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_groups_bounded_unique_and_seeded(self, sequence, group):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(sequence)
+        builder = GroupBuilder(tracker, group)
+        for seed in set(sequence) or {"x"}:
+            built = builder.build(seed)
+            assert 1 <= len(built) <= group
+            assert built.demanded == seed
+            assert len(set(built.members)) == len(built.members)
+
+    @given(sequence=sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_group_members_are_observed_files_or_seed(self, sequence):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(sequence)
+        builder = GroupBuilder(tracker, 5)
+        observed = set(sequence)
+        built = builder.build("seed-file")
+        for member in built.predicted:
+            assert member in observed
+
+
+class TestEntropyInvariants:
+    @given(sequence=sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_entropy_nonnegative_and_bounded(self, sequence):
+        value = successor_entropy(sequence)
+        assert value >= 0.0
+        if sequence:
+            # Crude upper bound: log2 of the number of events.
+            assert value <= math.log2(len(sequence) + 1) + 1
+
+    @given(sequence=sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_breakdown_consistent_with_value(self, sequence):
+        breakdown = successor_entropy_breakdown(sequence)
+        recomputed = sum(w * h for w, h in breakdown.per_file.values())
+        assert breakdown.value == recomputed
+
+    @given(sequence=st.lists(keys, min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_are_fractions_of_events(self, sequence):
+        breakdown = successor_entropy_breakdown(sequence)
+        for weight, _ in breakdown.per_file.values():
+            assert 0.0 < weight <= 1.0
+        assert sum(w for w, _ in breakdown.per_file.values()) <= 1.0 + 1e-9
+
+    @given(block=st.lists(keys, min_size=2, max_size=20, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_cycles_have_zero_entropy(self, block):
+        sequence = block * 10
+        assert successor_entropy(sequence) < 1e-9
+
+
+class TestTraceRoundTripProperty:
+    @given(sequence=sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_write_read_round_trip(self, sequence):
+        import io
+
+        from repro.traces.reader import read_trace
+        from repro.traces.writer import write_trace
+
+        trace = Trace.from_file_ids(sequence, name="prop")
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        recovered = read_trace(io.StringIO(buffer.getvalue()))
+        assert recovered.file_ids() == sequence
+
+
+class TestStackDistanceProperties:
+    @given(sequence=sequences, capacity=capacities)
+    @settings(max_examples=50, deadline=None)
+    def test_mattson_agrees_with_replay_everywhere(self, sequence, capacity):
+        from repro.caching.stack_distance import miss_curve
+
+        cache = LRUCache(capacity)
+        for key in sequence:
+            cache.access(key)
+        curve = miss_curve(sequence, [capacity]) if sequence else {capacity: 0}
+        assert curve[capacity] == cache.stats.misses
+
+    @given(sequence=sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_distances_bounded_by_distinct_files(self, sequence):
+        from repro.caching.stack_distance import COLD, stack_distances
+
+        distinct = len(set(sequence))
+        for distance in stack_distances(sequence):
+            assert distance == COLD or 1 <= distance <= distinct

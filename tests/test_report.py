@@ -1,0 +1,62 @@
+"""Unit tests for the full-evaluation report generator."""
+
+import pytest
+
+from repro.analysis.report import build_report, default_sections, write_report
+from repro.analysis.series import FigureData
+from repro.errors import AnalysisError
+
+
+def tiny_sections():
+    """One fast synthetic section to keep report tests quick."""
+
+    def build():
+        figure = FigureData("t", "Tiny section", "x", "y")
+        series = figure.add_series("s")
+        series.add(1, 2)
+        series.add(3, 4)
+        return figure
+
+    return [("tiny", build)]
+
+
+class TestBuildReport:
+    def test_structure_with_custom_sections(self):
+        text = build_report(events=2500, sections=tiny_sections())
+        assert text.startswith("# Full evaluation report")
+        assert "## Headline claims" in text
+        assert "## Tiny section" in text
+        assert "| x | s |" in text
+
+    def test_charts_toggle(self):
+        with_charts = build_report(events=2500, sections=tiny_sections())
+        without = build_report(events=2500, sections=tiny_sections(), charts=False)
+        assert "```" in with_charts
+        assert "```" not in without
+
+    def test_progress_callback(self):
+        seen = []
+        build_report(
+            events=2500, sections=tiny_sections(), progress=seen.append
+        )
+        assert seen == ["headline", "tiny"]
+
+    def test_rejects_bad_events(self):
+        with pytest.raises(AnalysisError):
+            build_report(events=0)
+
+    def test_default_sections_cover_every_figure(self):
+        ids = [section_id for section_id, _ in default_sections(1000)]
+        for expected in ("fig3-server", "fig4-users", "fig5-workstation",
+                         "fig7", "fig8-write", "placement", "hoarding",
+                         "attribution", "peer-caching"):
+            assert expected in ids
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", events=2500, sections=tiny_sections()
+        )
+        assert path.exists()
+        assert "Tiny section" in path.read_text()

@@ -1,0 +1,137 @@
+"""Unit + shape tests for seed-robustness analysis."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    SeedBand,
+    band_figure,
+    ordering_holds_for_every_seed,
+    seed_sweep,
+)
+from repro.analysis.series import FigureData
+from repro.errors import AnalysisError
+
+
+def toy_builder(seed):
+    """A deterministic toy figure whose values shift with the seed."""
+    figure = FigureData("toy", "Toy", "x", "y")
+    low = figure.add_series("low")
+    high = figure.add_series("high")
+    for x in (1, 2, 3):
+        low.add(x, x + seed * 0.1)
+        high.add(x, x + 10 + seed * 0.1)
+    return figure
+
+
+class TestSeedSweep:
+    def test_bands_cover_all_seeds(self):
+        figures, bands = seed_sweep(toy_builder, seeds=[0, 1, 2])
+        assert len(figures) == 3
+        band = bands["low"]
+        assert band.xs == [1.0, 2.0, 3.0]
+        assert band.minimums[0] == pytest.approx(1.0)
+        assert band.maximums[0] == pytest.approx(1.2)
+        assert band.means[0] == pytest.approx(1.1)
+
+    def test_spread(self):
+        _, bands = seed_sweep(toy_builder, seeds=[0, 5])
+        assert bands["low"].spread_at(1.0) == pytest.approx(0.5)
+        assert bands["low"].worst_spread == pytest.approx(0.5)
+
+    def test_requires_seeds(self):
+        with pytest.raises(AnalysisError):
+            seed_sweep(toy_builder, seeds=[])
+
+    def test_rejects_ragged_runs(self):
+        def ragged(seed):
+            figure = FigureData("r", "R", "x", "y")
+            series = figure.add_series("s")
+            series.add(1, 1)
+            if seed:
+                series.add(2, 2)
+            return figure
+
+        with pytest.raises(AnalysisError, match="disagree"):
+            seed_sweep(ragged, seeds=[0, 1])
+
+
+class TestOrderingHolds:
+    def test_lower_direction(self):
+        figures, _ = seed_sweep(toy_builder, seeds=[0, 1, 2])
+        assert ordering_holds_for_every_seed(figures, "low", "high", "lower")
+        assert not ordering_holds_for_every_seed(figures, "high", "low", "lower")
+
+    def test_higher_direction(self):
+        figures, _ = seed_sweep(toy_builder, seeds=[0, 1])
+        assert ordering_holds_for_every_seed(figures, "high", "low", "higher")
+
+    def test_bad_direction(self):
+        figures, _ = seed_sweep(toy_builder, seeds=[0])
+        with pytest.raises(AnalysisError):
+            ordering_holds_for_every_seed(figures, "low", "high", "sideways")
+
+
+class TestBandFigure:
+    def test_triples_per_series(self):
+        _, bands = seed_sweep(toy_builder, seeds=[0, 1])
+        figure = band_figure(bands, "b", "Bands", "x", "y")
+        assert set(figure.labels()) == {
+            "low:min", "low:mean", "low:max",
+            "high:min", "high:mean", "high:max",
+        }
+
+
+class TestPaperResultRobustness:
+    """The headline orderings must hold for every seed, not just the default."""
+
+    SEEDS = (11, 22, 33)
+    EVENTS = 8000
+
+    def test_fig3_grouping_wins_across_seeds(self):
+        from repro.experiments import run_fig3
+
+        figures, bands = seed_sweep(
+            lambda seed: run_fig3(
+                workload="server",
+                events=self.EVENTS,
+                capacities=(100, 300),
+                group_sizes=(1, 5),
+                seed=seed,
+            ),
+            seeds=self.SEEDS,
+        )
+        assert ordering_holds_for_every_seed(figures, "g5", "lru", "lower")
+        # Seeds vary trace difficulty, so bands may overlap across
+        # seeds; the *mean* separation is what must be decisive.
+        for index in range(len(bands["g5"].xs)):
+            assert bands["g5"].means[index] < bands["lru"].means[index] * 0.85
+
+    def test_fig4_resilience_across_seeds(self):
+        from repro.experiments import run_fig4
+
+        figures, _ = seed_sweep(
+            lambda seed: run_fig4(
+                workload="workstation",
+                events=self.EVENTS,
+                filter_capacities=(100, 400),
+                server_capacity=200,
+                schemes=("g5", "lru"),
+                seed=seed,
+            ),
+            seeds=self.SEEDS,
+        )
+        assert ordering_holds_for_every_seed(figures, "g5", "lru", "higher")
+
+    def test_entropy_ordering_across_seeds(self):
+        from repro.core.entropy import successor_entropy
+        from repro.workloads import make_server, make_users
+
+        for seed in self.SEEDS:
+            server = successor_entropy(
+                make_server(self.EVENTS, seed=seed).file_ids()
+            )
+            users = successor_entropy(
+                make_users(self.EVENTS, seed=seed).file_ids()
+            )
+            assert server < users, seed
+            assert server < 1.2, seed

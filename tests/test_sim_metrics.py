@@ -1,0 +1,89 @@
+"""Unit tests for interval metric recording."""
+
+import pytest
+
+from repro.caching.lru import LRUCache
+from repro.errors import SimulationError
+from repro.sim.metrics import (
+    IntervalRecorder,
+    IntervalSample,
+    steady_state_hit_rate,
+    warmup_split,
+)
+
+
+class TestIntervalRecorder:
+    def test_samples_cover_all_events(self):
+        recorder = IntervalRecorder(LRUCache(2), interval=3)
+        samples = recorder.replay(["a", "b", "a", "b", "a", "b", "c"])
+        assert samples[-1].end_event == 7
+        assert sum(s.accesses for s in samples) == 7
+
+    def test_interval_boundaries(self):
+        recorder = IntervalRecorder(LRUCache(2), interval=2)
+        samples = recorder.replay(["a", "a", "a", "a"])
+        assert len(samples) == 2
+        assert samples[0].hits == 1  # miss then hit
+        assert samples[1].hits == 2
+
+    def test_partial_tail_flushed(self):
+        recorder = IntervalRecorder(LRUCache(2), interval=4)
+        samples = recorder.replay(["a", "a", "a"])
+        assert len(samples) == 1
+        assert samples[0].accesses == 3
+
+    def test_hit_rate_series(self):
+        recorder = IntervalRecorder(LRUCache(1), interval=2)
+        recorder.replay(["a", "a", "b", "b"])
+        series = recorder.hit_rate_series()
+        assert series == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            IntervalRecorder(LRUCache(2), interval=0)
+
+    def test_rejects_statless_target(self):
+        class Weird:
+            def access(self, key):
+                return True
+
+        with pytest.raises(SimulationError):
+            IntervalRecorder(Weird(), interval=2)
+
+    def test_access_passthrough(self):
+        recorder = IntervalRecorder(LRUCache(2), interval=10)
+        assert recorder.access("a") is False
+        assert recorder.access("a") is True
+
+
+class TestWarmupSplit:
+    def _samples(self):
+        return [
+            IntervalSample(0, 100, hits=10, misses=90),
+            IntervalSample(100, 200, hits=50, misses=50),
+            IntervalSample(200, 300, hits=80, misses=20),
+        ]
+
+    def test_split(self):
+        warm, steady = warmup_split(self._samples(), warmup_fraction=0.4)
+        assert len(warm) == 1
+        assert len(steady) == 2
+
+    def test_zero_warmup(self):
+        warm, steady = warmup_split(self._samples(), warmup_fraction=0.0)
+        assert warm == []
+        assert len(steady) == 3
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(SimulationError):
+            warmup_split(self._samples(), warmup_fraction=1.0)
+
+    def test_empty(self):
+        assert warmup_split([], 0.1) == ([], [])
+
+    def test_steady_state_hit_rate(self):
+        rate = steady_state_hit_rate(self._samples(), warmup_fraction=0.4)
+        assert rate == pytest.approx(130 / 200)
+
+    def test_steady_state_empty(self):
+        assert steady_state_hit_rate([], 0.1) == 0.0

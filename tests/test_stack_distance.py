@@ -1,0 +1,105 @@
+"""Unit tests for Mattson stack-distance analysis."""
+
+import random
+
+import pytest
+
+from repro.caching.lru import LRUCache
+from repro.caching.stack_distance import (
+    COLD,
+    hit_rate_curve,
+    miss_curve,
+    stack_distances,
+    working_set_knee,
+)
+from repro.errors import AnalysisError
+
+
+class TestStackDistances:
+    def test_known_sequence(self):
+        # a b c a : 'a' re-accessed after b,c -> distance 3.
+        assert stack_distances(["a", "b", "c", "a"]) == [COLD, COLD, COLD, 3]
+
+    def test_immediate_repeat_is_distance_one(self):
+        assert stack_distances(["a", "a"]) == [COLD, 1]
+
+    def test_interleaved(self):
+        # a b a b : each re-access skips one distinct file -> 2.
+        assert stack_distances(["a", "b", "a", "b"]) == [COLD, COLD, 2, 2]
+
+    def test_duplicates_between_accesses_counted_once(self):
+        # a b b b a : only one distinct file between the two a's.
+        assert stack_distances(["a", "b", "b", "b", "a"])[-1] == 2
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+
+class TestMissCurve:
+    def test_matches_replay_exactly(self):
+        rng = random.Random(7)
+        sequence = [f"f{rng.randrange(50)}" for _ in range(3000)]
+        capacities = [1, 2, 5, 10, 20, 40, 80]
+        curve = miss_curve(sequence, capacities)
+        for capacity in capacities:
+            cache = LRUCache(capacity)
+            for key in sequence:
+                cache.access(key)
+            assert curve[capacity] == cache.stats.misses, capacity
+
+    def test_matches_replay_on_real_workload(self):
+        from repro.experiments.common import workload_sequence
+
+        sequence = list(workload_sequence("workstation", 6000))
+        curve = miss_curve(sequence, [100, 300])
+        for capacity in (100, 300):
+            cache = LRUCache(capacity)
+            for key in sequence:
+                cache.access(key)
+            assert curve[capacity] == cache.stats.misses
+
+    def test_monotone_in_capacity(self):
+        rng = random.Random(1)
+        sequence = [f"f{rng.randrange(30)}" for _ in range(1000)]
+        curve = miss_curve(sequence, range(1, 40))
+        values = [curve[c] for c in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(AnalysisError):
+            miss_curve(["a"], [0])
+
+    def test_infinite_capacity_floor_is_cold_misses(self):
+        sequence = ["a", "b", "a", "c", "b"]
+        curve = miss_curve(sequence, [100])
+        assert curve[100] == 3  # the distinct files
+
+
+class TestHitRateCurve:
+    def test_rates(self):
+        sequence = ["a", "b"] * 50
+        curve = hit_rate_curve(sequence, [1, 2])
+        assert curve[2] == pytest.approx(0.98)
+        assert curve[1] == pytest.approx(0.0)
+
+    def test_empty_sequence(self):
+        assert hit_rate_curve([], [4]) == {4: 0.0}
+
+
+class TestWorkingSetKnee:
+    def test_finds_working_set_size(self):
+        sequence = [f"f{i % 8}" for i in range(800)]
+        knee = working_set_knee(sequence, capacities=[2, 4, 8, 16, 32])
+        assert knee == 8
+
+    def test_empty(self):
+        assert working_set_knee([]) == 0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(AnalysisError):
+            working_set_knee(["a"], knee_fraction=0.0)
+
+    def test_default_probe_grid(self):
+        sequence = [f"f{i % 5}" for i in range(200)]
+        knee = working_set_knee(sequence)
+        assert knee >= 5

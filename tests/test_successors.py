@@ -1,0 +1,275 @@
+"""Unit tests for successor lists, the tracker, and the Figure 5 evaluator."""
+
+import pytest
+
+from repro.core.successors import (
+    LFUSuccessorList,
+    LRUSuccessorList,
+    OracleSuccessorList,
+    SuccessorList,
+    SuccessorTracker,
+    evaluate_successor_misses,
+    make_successor_list,
+)
+from repro.errors import CacheConfigurationError
+
+
+class TestLRUSuccessorList:
+    def test_most_recent_first(self):
+        slist = LRUSuccessorList(3)
+        for successor in ["b", "c", "d"]:
+            slist.observe(successor)
+        assert slist.predict() == ["d", "c", "b"]
+        assert slist.most_likely() == "d"
+
+    def test_reobservation_promotes(self):
+        slist = LRUSuccessorList(3)
+        for successor in ["b", "c", "b"]:
+            slist.observe(successor)
+        assert slist.predict() == ["b", "c"]
+
+    def test_capacity_evicts_least_recent(self):
+        slist = LRUSuccessorList(2)
+        for successor in ["b", "c", "d"]:
+            slist.observe(successor)
+        assert "b" not in slist
+        assert slist.predict() == ["d", "c"]
+
+    def test_rejects_unbounded(self):
+        with pytest.raises(CacheConfigurationError):
+            LRUSuccessorList(0)
+
+    def test_contains_and_len(self):
+        slist = LRUSuccessorList(4)
+        slist.observe("x")
+        assert "x" in slist
+        assert len(slist) == 1
+
+
+class TestLFUSuccessorList:
+    def test_most_frequent_first(self):
+        slist = LFUSuccessorList(3)
+        for successor in ["b", "c", "c", "d"]:
+            slist.observe(successor)
+        assert slist.predict()[0] == "c"
+        assert slist.count_of("c") == 2
+
+    def test_eviction_prefers_lowest_count(self):
+        slist = LFUSuccessorList(2)
+        for successor in ["b", "b", "c"]:
+            slist.observe(successor)
+        slist.observe("d")  # c (count 1) evicted, b (count 2) kept
+        assert "b" in slist
+        assert "c" not in slist
+
+    def test_stale_high_count_blocks_adaptation(self):
+        # The pathology the paper's Figure 5 exposes: a stale successor
+        # with a high count occupies the list while fresh successors
+        # churn through the low-count slot.
+        slist = LFUSuccessorList(2)
+        for _ in range(10):
+            slist.observe("stale")
+        for fresh in ["n1", "n2", "n3"]:
+            slist.observe(fresh)
+        assert "stale" in slist
+        assert slist.predict()[0] == "stale"
+
+    def test_tie_evicts_oldest(self):
+        slist = LFUSuccessorList(2)
+        slist.observe("b")
+        slist.observe("c")
+        slist.observe("d")
+        assert "b" not in slist
+
+    def test_rejects_unbounded(self):
+        with pytest.raises(CacheConfigurationError):
+            LFUSuccessorList(0)
+
+
+class TestOracleSuccessorList:
+    def test_never_forgets(self):
+        oracle = OracleSuccessorList()
+        for successor in [f"s{i}" for i in range(100)]:
+            oracle.observe(successor)
+        assert len(oracle) == 100
+        assert "s0" in oracle
+
+    def test_predicts_by_frequency(self):
+        oracle = OracleSuccessorList()
+        for successor in ["a", "b", "b"]:
+            oracle.observe(successor)
+        assert oracle.predict()[0] == "b"
+
+    def test_recency_breaks_frequency_ties(self):
+        oracle = OracleSuccessorList()
+        oracle.observe("a")
+        oracle.observe("b")
+        assert oracle.predict() == ["b", "a"]
+
+
+class TestMakeSuccessorList:
+    def test_registry(self):
+        assert isinstance(make_successor_list("lru", 4), LRUSuccessorList)
+        assert isinstance(make_successor_list("lfu", 4), LFUSuccessorList)
+        assert isinstance(make_successor_list("oracle", 4), OracleSuccessorList)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="oracle"):
+            make_successor_list("magic", 4)
+
+
+class TestSuccessorTracker:
+    def test_observe_builds_transitions(self):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "b", "c", "a", "b"])
+        assert tracker.most_likely("a") == "b"
+        assert tracker.most_likely("b") == "c"
+        assert tracker.successors("c") == ["a"]
+
+    def test_most_likely_unknown_file(self):
+        tracker = SuccessorTracker()
+        assert tracker.most_likely("ghost") is None
+        assert tracker.successors("ghost") == []
+
+    def test_reset_stream_breaks_pairing(self):
+        tracker = SuccessorTracker()
+        tracker.observe("a")
+        tracker.reset_stream()
+        tracker.observe("b")  # must NOT create a->b
+        assert tracker.most_likely("a") is None
+
+    def test_metadata_entries(self):
+        tracker = SuccessorTracker(capacity=8)
+        tracker.observe_sequence(["a", "b", "a", "c"])
+        # a has {b, c}, b has {a}: 3 entries.
+        assert tracker.metadata_entries() == 3
+
+    def test_tracked_files(self):
+        tracker = SuccessorTracker()
+        tracker.observe_sequence(["a", "b", "c"])
+        assert set(tracker.tracked_files()) == {"a", "b"}
+        assert tracker.has_metadata_for("a")
+        assert not tracker.has_metadata_for("c")
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            SuccessorTracker(policy="fancy")
+
+    def test_capacity_respected_per_file(self):
+        tracker = SuccessorTracker(policy="lru", capacity=2)
+        tracker.observe_sequence(["a", "x", "a", "y", "a", "z"])
+        assert len(tracker.successors("a")) == 2
+
+
+class TestEvaluateSuccessorMisses:
+    def test_first_transition_always_misses(self):
+        report = evaluate_successor_misses(["a", "b"], "oracle", 1)
+        assert report.opportunities == 1
+        assert report.misses == 1
+        assert report.miss_probability == 1.0
+
+    def test_repeated_pattern_learned(self):
+        report = evaluate_successor_misses(["a", "b"] * 10, "lru", 1)
+        # Only the first a->b and first b->a are missed.
+        assert report.misses == 2
+        assert report.opportunities == 19
+
+    def test_oracle_is_lower_bound(self):
+        sequence = ["a", "b", "a", "c", "a", "b", "a", "d", "a", "b"] * 5
+        oracle = evaluate_successor_misses(sequence, "oracle", 1)
+        for policy in ("lru", "lfu"):
+            for capacity in (1, 2, 4):
+                report = evaluate_successor_misses(sequence, policy, capacity)
+                assert report.misses >= oracle.misses
+
+    def test_capacity_monotonicity_lru(self):
+        sequence = ["a", "b", "a", "c", "a", "d"] * 20
+        previous = None
+        for capacity in (1, 2, 3, 4):
+            misses = evaluate_successor_misses(sequence, "lru", capacity).misses
+            if previous is not None:
+                assert misses <= previous
+            previous = misses
+
+    def test_empty_and_singleton_sequences(self):
+        assert evaluate_successor_misses([], "lru", 1).opportunities == 0
+        assert evaluate_successor_misses(["a"], "lru", 1).opportunities == 0
+        assert evaluate_successor_misses([], "lru", 1).miss_probability == 0.0
+
+    def test_drifting_successors_favor_lru(self):
+        # Phase 1 establishes a->b as very frequent; phase 2 alternates
+        # two fresh successors.  A frequency-managed list of capacity 2
+        # pins the stale 'b' and churns x/y through the low-count slot
+        # (each evicting the other before its recheck), while a
+        # recency-managed list retains both and hits — the paper's
+        # Figure 5 mechanism in miniature.
+        sequence = ["a", "b"] * 30 + ["a", "x", "a", "y"] * 25
+        lru = evaluate_successor_misses(sequence, "lru", 2)
+        lfu = evaluate_successor_misses(sequence, "lfu", 2)
+        assert lru.misses < lfu.misses
+
+
+class TestHybridSuccessorList:
+    def test_decay_zero_behaves_like_recency(self):
+        from repro.core.successors import HybridSuccessorList
+
+        slist = HybridSuccessorList(3, decay=0.0)
+        for successor in ["b", "b", "b", "c"]:
+            slist.observe(successor)
+        # With total decay only the latest observation carries weight.
+        assert slist.predict()[0] == "c"
+
+    def test_high_decay_behaves_like_frequency(self):
+        from repro.core.successors import HybridSuccessorList
+
+        slist = HybridSuccessorList(3, decay=0.99)
+        for successor in ["b"] * 10 + ["c"]:
+            slist.observe(successor)
+        assert slist.predict()[0] == "b"
+
+    def test_scores_decay(self):
+        from repro.core.successors import HybridSuccessorList
+
+        slist = HybridSuccessorList(3, decay=0.5)
+        slist.observe("b")
+        score_before = slist.score_of("b")
+        slist.observe("c")
+        assert slist.score_of("b") == pytest.approx(score_before * 0.5)
+
+    def test_eviction_removes_lowest_score(self):
+        from repro.core.successors import HybridSuccessorList
+
+        slist = HybridSuccessorList(2, decay=0.8)
+        for successor in ["b", "b", "c"]:
+            slist.observe(successor)
+        slist.observe("d")  # c has the lowest decayed score
+        assert "c" not in slist
+        assert "b" in slist
+
+    def test_bounded(self):
+        from repro.core.successors import HybridSuccessorList
+
+        slist = HybridSuccessorList(3)
+        for i in range(20):
+            slist.observe(f"s{i}")
+        assert len(slist) == 3
+
+    def test_rejects_bad_parameters(self):
+        from repro.core.successors import HybridSuccessorList
+
+        with pytest.raises(CacheConfigurationError):
+            HybridSuccessorList(0)
+        with pytest.raises(CacheConfigurationError):
+            HybridSuccessorList(3, decay=1.0)
+        with pytest.raises(CacheConfigurationError):
+            HybridSuccessorList(3, decay=-0.1)
+
+    def test_registered(self):
+        assert isinstance(make_successor_list("hybrid", 4), SuccessorList)
+
+    def test_usable_in_tracker_and_evaluation(self):
+        tracker = SuccessorTracker(policy="hybrid", capacity=4)
+        tracker.observe_sequence(["a", "b", "a", "b", "a", "c"])
+        assert tracker.most_likely("a") in ("b", "c")
+        report = evaluate_successor_misses(["a", "b"] * 20, "hybrid", 2)
+        assert report.miss_probability < 0.2

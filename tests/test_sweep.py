@@ -1,0 +1,83 @@
+"""Unit tests for the parameter sweep runner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.sweep import SweepGrid, pivot, run_sweep
+
+
+class TestSweepGrid:
+    def test_points_cartesian(self):
+        grid = SweepGrid().add_axis("a", [1, 2]).add_axis("b", ["x", "y"])
+        points = grid.points()
+        assert len(points) == 4
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "y"} in points
+
+    def test_order_deterministic(self):
+        grid = SweepGrid().add_axis("a", [1, 2]).add_axis("b", [10, 20])
+        assert grid.points()[0] == {"a": 1, "b": 10}
+        assert grid.points()[1] == {"a": 1, "b": 20}
+
+    def test_len(self):
+        grid = SweepGrid().add_axis("a", [1, 2, 3]).add_axis("b", [1, 2])
+        assert len(grid) == 6
+
+    def test_empty_grid_single_point(self):
+        assert SweepGrid().points() == [{}]
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ExperimentError):
+            SweepGrid().add_axis("a", [])
+
+    def test_rejects_duplicate_axis(self):
+        grid = SweepGrid().add_axis("a", [1])
+        with pytest.raises(ExperimentError):
+            grid.add_axis("a", [2])
+
+
+class TestRunSweep:
+    def test_merges_params_and_measurements(self):
+        grid = SweepGrid().add_axis("n", [1, 2, 3])
+        records = run_sweep(grid, lambda n: {"square": n * n})
+        assert records == [
+            {"n": 1, "square": 1},
+            {"n": 2, "square": 4},
+            {"n": 3, "square": 9},
+        ]
+
+    def test_rejects_key_collision(self):
+        grid = SweepGrid().add_axis("n", [1])
+        with pytest.raises(ExperimentError, match="collide"):
+            run_sweep(grid, lambda n: {"n": 99})
+
+    def test_progress_callback(self):
+        seen = []
+        grid = SweepGrid().add_axis("n", [5, 6])
+        run_sweep(
+            grid,
+            lambda n: {"out": n},
+            progress=lambda i, total, params: seen.append((i, total, params["n"])),
+        )
+        assert seen == [(0, 2, 5), (1, 2, 6)]
+
+
+class TestPivot:
+    def test_single_series(self):
+        records = [{"x": 1, "y": 10}, {"x": 2, "y": 20}]
+        lines = pivot(records, "x", "y")
+        assert lines == {"": [(1, 10), (2, 20)]}
+
+    def test_multi_series(self):
+        records = [
+            {"x": 1, "y": 10, "policy": "lru"},
+            {"x": 1, "y": 12, "policy": "lfu"},
+            {"x": 2, "y": 8, "policy": "lru"},
+        ]
+        lines = pivot(records, "x", "y", series="policy")
+        assert lines["lru"] == [(1, 10), (2, 8)]
+        assert lines["lfu"] == [(1, 12)]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ExperimentError, match="missing"):
+            pivot([{"x": 1}], "x", "y")

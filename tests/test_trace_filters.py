@@ -1,0 +1,89 @@
+"""Unit tests for trace stream filters."""
+
+import pytest
+
+from repro.caching.lru import LRUCache
+from repro.traces.events import EventKind, Trace, TraceEvent
+from repro.traces.filters import (
+    by_client,
+    by_kind,
+    by_predicate,
+    by_prefix,
+    cache_filtered,
+    collapse_repeats,
+    opens_only,
+    split_rounds,
+)
+
+
+class TestProjectionFilters:
+    def test_opens_only(self, mixed_trace):
+        assert opens_only(mixed_trace).file_ids() == ["a", "a"]
+
+    def test_by_kind(self, mixed_trace):
+        mutations = by_kind(
+            mixed_trace, [EventKind.WRITE, EventKind.CREATE, EventKind.DELETE]
+        )
+        assert mutations.file_ids() == ["c", "d", "a"]
+
+    def test_by_client(self, mixed_trace):
+        assert by_client(mixed_trace, "c2").file_ids() == ["c", "d"]
+
+    def test_by_predicate(self, mixed_trace):
+        odd = by_predicate(mixed_trace, lambda e: e.file_id in ("a", "c"))
+        assert odd.file_ids() == ["a", "c", "a", "a"]
+
+    def test_by_prefix(self):
+        trace = Trace.from_file_ids(["src/a", "doc/b", "src/c"])
+        assert by_prefix(trace, "src/").file_ids() == ["src/a", "src/c"]
+
+    def test_filters_renumber(self, mixed_trace):
+        filtered = by_client(mixed_trace, "c1")
+        assert [e.sequence for e in filtered] == list(range(len(filtered)))
+
+
+class TestCollapseRepeats:
+    def test_collapses_adjacent(self):
+        trace = Trace.from_file_ids(["a", "a", "a", "b", "b", "a"])
+        assert collapse_repeats(trace).file_ids() == ["a", "b", "a"]
+
+    def test_noop_without_repeats(self):
+        trace = Trace.from_file_ids(["a", "b", "c"])
+        assert collapse_repeats(trace).file_ids() == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert collapse_repeats(Trace()).file_ids() == []
+
+
+class TestCacheFiltered:
+    def test_miss_stream_content(self):
+        # Capacity-1 LRU absorbs only immediate repeats.
+        trace = Trace.from_file_ids(["a", "a", "b", "a", "a", "b"])
+        filtered = cache_filtered(trace, LRUCache(1))
+        assert filtered.file_ids() == ["a", "b", "a", "b"]
+
+    def test_large_cache_absorbs_everything_after_cold(self):
+        trace = Trace.from_file_ids(["a", "b", "c"] * 10)
+        filtered = cache_filtered(trace, LRUCache(10))
+        assert filtered.file_ids() == ["a", "b", "c"]
+
+    def test_names_mention_filter(self):
+        trace = Trace.from_file_ids(["a"], name="t")
+        filtered = cache_filtered(trace, LRUCache(5))
+        assert "5" in filtered.name
+
+
+class TestSplitRounds:
+    def test_partitions_cover_everything(self):
+        trace = Trace.from_file_ids([str(i) for i in range(10)])
+        rounds = split_rounds(trace, 3)
+        recombined = [f for piece in rounds for f in piece.file_ids()]
+        assert recombined == trace.file_ids()
+
+    def test_round_count(self):
+        trace = Trace.from_file_ids([str(i) for i in range(7)])
+        assert len(split_rounds(trace, 4)) == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_rounds(Trace(), 0)

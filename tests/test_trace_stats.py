@@ -1,0 +1,133 @@
+"""Unit tests for trace summary statistics."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.traces.events import EventKind, Trace
+from repro.traces.stats import (
+    access_counts,
+    entropy_of_counts,
+    interreference_distances,
+    last_successor_repeat_rate,
+    popularity_gini,
+    summarize,
+    working_set_sizes,
+)
+
+
+class TestAccessCounts:
+    def test_counts(self):
+        trace = Trace.from_file_ids(["a", "b", "a"])
+        assert access_counts(trace) == Counter({"a": 2, "b": 1})
+
+
+class TestPopularityGini:
+    def test_uniform_is_zero(self):
+        assert popularity_gini(Counter({"a": 5, "b": 5, "c": 5})) == pytest.approx(0.0)
+
+    def test_skewed_is_positive(self):
+        skewed = popularity_gini(Counter({"a": 100, "b": 1, "c": 1}))
+        assert skewed > 0.5
+
+    def test_empty_is_zero(self):
+        assert popularity_gini(Counter()) == 0.0
+
+    def test_bounded_below_one(self):
+        counts = Counter({f"f{i}": 1 for i in range(99)})
+        counts["hot"] = 10_000
+        assert 0.0 < popularity_gini(counts) < 1.0
+
+
+class TestLastSuccessorRepeatRate:
+    def test_perfectly_repetitive(self):
+        trace = Trace.from_file_ids(["a", "b"] * 10)
+        # After the first a->b and b->a, every prediction is correct.
+        assert last_successor_repeat_rate(trace) == pytest.approx(1.0)
+
+    def test_never_repeats(self):
+        trace = Trace.from_file_ids(["a", "b", "a", "c", "a", "d", "a", "e"])
+        # 'a' changes successor every time.
+        assert last_successor_repeat_rate(trace) < 0.5
+
+    def test_short_trace_is_zero(self):
+        assert last_successor_repeat_rate(Trace.from_file_ids(["a", "b"])) == 0.0
+
+
+class TestSummarize:
+    def test_basic_fields(self, mixed_trace):
+        summary = summarize(mixed_trace)
+        assert summary.events == 7
+        assert summary.unique_files == 4
+        assert summary.open_events == 2
+        assert summary.mutation_events == 3
+        assert summary.clients == 2
+
+    def test_single_access_files(self):
+        trace = Trace.from_file_ids(["a", "a", "b", "c"])
+        summary = summarize(trace)
+        assert summary.single_access_files == 2
+        assert summary.repeat_fraction == pytest.approx(0.5)
+
+    def test_write_fraction(self):
+        trace = Trace()
+        trace.extend(
+            [
+                Trace.from_file_ids(["a"], kind=EventKind.WRITE)[0],
+                Trace.from_file_ids(["b"])[0],
+            ]
+        )
+        assert summarize(trace).write_fraction == pytest.approx(0.5)
+
+    def test_as_rows_shape(self, mixed_trace):
+        rows = summarize(mixed_trace).as_rows()
+        assert all(len(row) == 2 for row in rows)
+        assert rows[0] == ("trace", "mixed")
+
+    def test_empty_trace(self):
+        summary = summarize(Trace())
+        assert summary.events == 0
+        assert summary.repeat_fraction == 0.0
+        assert summary.top_file_share == 0.0
+
+
+class TestWorkingSetSizes:
+    def test_windows(self):
+        trace = Trace.from_file_ids(["a", "a", "b", "b", "c", "c"])
+        assert working_set_sizes(trace, 2) == [1, 1, 1]
+        assert working_set_sizes(trace, 3) == [2, 2]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            working_set_sizes(Trace(), 0)
+
+
+class TestInterreferenceDistances:
+    def test_distances(self):
+        trace = Trace.from_file_ids(["a", "b", "a", "c", "a"])
+        assert interreference_distances(trace) == [2, 2]
+
+    def test_limit(self):
+        trace = Trace.from_file_ids(["a"] * 10)
+        assert len(interreference_distances(trace, limit=3)) == 3
+
+    def test_no_repeats(self):
+        trace = Trace.from_file_ids(["a", "b", "c"])
+        assert interreference_distances(trace) == []
+
+
+class TestEntropyOfCounts:
+    def test_uniform(self):
+        assert entropy_of_counts(Counter({"a": 1, "b": 1})) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        assert entropy_of_counts(Counter({"a": 10})) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert entropy_of_counts(Counter()) == 0.0
+
+    def test_matches_formula(self):
+        counts = Counter({"a": 3, "b": 1})
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert entropy_of_counts(counts) == pytest.approx(expected)

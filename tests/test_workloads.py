@@ -1,0 +1,286 @@
+"""Unit tests for workload building blocks: zipf, activities, sessions."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces.events import EventKind
+from repro.workloads.activities import (
+    MarkovActivity,
+    ScriptedActivity,
+    make_file_names,
+)
+from repro.workloads.sessions import ClientSession, Interleaver, SessionConfig
+from repro.workloads.zipf import ZipfSampler, geometric, zipf_choice
+
+
+class TestZipfSampler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, exponent=-1)
+
+    def test_rank_zero_most_likely(self, rng):
+        sampler = ZipfSampler(50, exponent=1.0)
+        counts = [0] * 50
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[10] > 0
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(10, exponent=1.2)
+        total = sum(sampler.probability(r) for r in range(10))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_out_of_range(self):
+        sampler = ZipfSampler(3)
+        with pytest.raises(WorkloadError):
+            sampler.probability(3)
+
+    def test_exponent_zero_is_uniform(self, rng):
+        sampler = ZipfSampler(4, exponent=0.0)
+        for rank in range(4):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+    def test_samples_in_range(self, rng):
+        sampler = ZipfSampler(7)
+        assert all(0 <= sampler.sample(rng) < 7 for _ in range(1000))
+
+
+class TestZipfChoice:
+    def test_empty_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            zipf_choice([], rng)
+
+    def test_prefers_head(self, rng):
+        picks = [zipf_choice(["a", "b", "c"], rng) for _ in range(2000)]
+        assert picks.count("a") > picks.count("c")
+
+
+class TestGeometric:
+    def test_minimum_one(self, rng):
+        assert all(geometric(rng, 1.0) == 1 for _ in range(10))
+
+    def test_mean_approx(self, rng):
+        draws = [geometric(rng, 5.0) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(5.0, rel=0.1)
+
+    def test_rejects_sub_one(self, rng):
+        with pytest.raises(WorkloadError):
+            geometric(rng, 0.5)
+
+
+class TestMakeFileNames:
+    def test_distinct(self):
+        names = make_file_names("p", 100)
+        assert len(set(names)) == 100
+        assert all(name.startswith("p/") for name in names)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            make_file_names("p", 0)
+
+
+class TestScriptedActivity:
+    def test_cycles_deterministically(self, rng):
+        activity = ScriptedActivity("t", ["a", "b", "c"])
+        emitted = [activity.emit(rng)[0] for _ in range(7)]
+        assert emitted == ["a", "b", "c", "a", "b", "c", "a"]
+
+    def test_ephemeral_slots_fresh_each_cycle(self, rng):
+        activity = ScriptedActivity("t", ["a", "b"], ephemeral_slots=[1])
+        first_cycle = [activity.emit(rng) for _ in range(2)]
+        second_cycle = [activity.emit(rng) for _ in range(2)]
+        assert first_cycle[1][0] != second_cycle[1][0]
+        assert first_cycle[1][1] is EventKind.CREATE
+
+    def test_write_slots(self, rng):
+        activity = ScriptedActivity("t", ["a", "b"], write_slots=[0])
+        access = activity.emit(rng)
+        assert access == ("a", EventKind.WRITE)
+
+    def test_rejects_out_of_range_slots(self):
+        with pytest.raises(WorkloadError, match="outside"):
+            ScriptedActivity("t", ["a"], ephemeral_slots=[5])
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(WorkloadError):
+            ScriptedActivity("t", ["a", "b"], drift=1.5)
+
+    def test_drift_changes_chain(self):
+        rng = random.Random(0)
+        activity = ScriptedActivity("t", [f"f{i}" for i in range(10)], drift=1.0)
+        original = list(activity.files)
+        for _ in range(40):  # several cycles with certain drift
+            activity.emit(rng)
+        assert activity.files != original
+        assert sorted(activity.files) == sorted(original)
+
+    def test_loops_revisit_recent_files(self):
+        rng = random.Random(0)
+        activity = ScriptedActivity(
+            "t", [f"f{i}" for i in range(20)], loop_probability=1.0
+        )
+        emitted = [activity.emit(rng)[0] for _ in range(50)]
+        # With certain looping, files must repeat well before the cycle
+        # would naturally return (20 steps).
+        assert len(set(emitted[:10])) < 10
+
+    def test_reset(self, rng):
+        activity = ScriptedActivity("t", ["a", "b", "c"])
+        activity.emit(rng)
+        activity.reset()
+        assert activity.emit(rng)[0] == "a"
+
+    def test_requires_files(self):
+        with pytest.raises(WorkloadError):
+            ScriptedActivity("t", [])
+
+
+class TestMarkovActivity:
+    def test_high_stability_follows_primary(self):
+        rng = random.Random(1)
+        activity = MarkovActivity("t", [f"f{i}" for i in range(5)], stability=1.0)
+        emitted = [activity.emit(rng)[0] for _ in range(15)]
+        # Fully stable: the walk is a fixed permutation cycle of 5.
+        assert emitted[:5] == emitted[5:10] == emitted[10:15]
+
+    def test_zero_stability_still_valid(self):
+        rng = random.Random(2)
+        activity = MarkovActivity("t", ["a", "b", "c"], stability=0.0)
+        emitted = {activity.emit(rng)[0] for _ in range(100)}
+        assert emitted <= {"a", "b", "c"}
+
+    def test_write_fraction(self):
+        rng = random.Random(3)
+        activity = MarkovActivity("t", ["a", "b"], write_fraction=1.0)
+        assert activity.emit(rng)[1] is EventKind.WRITE
+
+    def test_rewire_changes_primary_map(self):
+        rng = random.Random(4)
+        activity = MarkovActivity(
+            "t", [f"f{i}" for i in range(8)], stability=1.0, rewire_probability=1.0
+        )
+        before = dict(activity._primary)
+        for _ in range(20):
+            activity.emit(rng)
+        assert activity._primary != before
+        # Still covers all files as values (permutation preserved).
+        assert sorted(activity._primary.values()) == sorted(before.values())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            MarkovActivity("t", ["a"], stability=2.0)
+        with pytest.raises(WorkloadError):
+            MarkovActivity("t", ["a"], write_fraction=-0.1)
+        with pytest.raises(WorkloadError):
+            MarkovActivity("t", ["a"], rewire_probability=7.0)
+
+    def test_single_file(self):
+        rng = random.Random(5)
+        activity = MarkovActivity("t", ["only"], stability=0.5)
+        assert activity.emit(rng)[0] == "only"
+
+    def test_reset(self):
+        rng = random.Random(6)
+        activity = MarkovActivity("t", ["a", "b", "c"], stability=1.0)
+        first = activity.emit(rng)[0]
+        activity.emit(rng)
+        activity.reset()
+        assert activity.emit(rng)[0] == first
+
+
+class TestClientSession:
+    def _session(self, **config_kwargs):
+        activities = [
+            ScriptedActivity("a0", ["x0", "x1", "x2"]),
+            ScriptedActivity("a1", ["y0", "y1", "y2"]),
+        ]
+        return ClientSession("c0", activities, SessionConfig(**config_kwargs))
+
+    def test_requires_activities(self):
+        with pytest.raises(WorkloadError):
+            ClientSession("c0", [])
+
+    def test_emits_activity_files(self, rng):
+        session = self._session(burst_mean=10.0, shared_probability=0.0)
+        emitted = {session.emit(rng)[0] for _ in range(100)}
+        assert emitted <= {"x0", "x1", "x2", "y0", "y1", "y2"}
+
+    def test_shared_utility_on_switch(self, rng):
+        session = self._session(
+            burst_mean=1.0,
+            shared_probability=1.0,
+            shared_utilities=("bin/sh",),
+        )
+        emitted = [session.emit(rng)[0] for _ in range(50)]
+        assert "bin/sh" in emitted
+
+    def test_noise_injection(self, rng):
+        session = self._session(
+            burst_mean=100.0,
+            shared_probability=0.0,
+            noise_files=("noise/n0", "noise/n1"),
+            noise_probability=1.0,
+        )
+        # After the initial switch, every access is noise.
+        emitted = [session.emit(rng)[0] for _ in range(20)]
+        assert all(f.startswith("noise/") for f in emitted)
+
+    def test_preference_drift_changes_top_choice(self):
+        rng = random.Random(9)
+        activities = [
+            ScriptedActivity(f"a{i}", [f"f{i}.0", f"f{i}.1"]) for i in range(6)
+        ]
+        config = SessionConfig(
+            burst_mean=1.0,
+            activity_exponent=3.0,  # heavily top-weighted
+            shared_probability=0.0,
+            preference_drift=1.0,
+        )
+        session = ClientSession("c0", activities, config)
+        emitted = {session.emit(rng)[0].split(".")[0] for _ in range(300)}
+        # With certain drift, many different activities reach the top.
+        assert len(emitted) >= 4
+
+
+class TestInterleaver:
+    def test_requires_sessions(self):
+        with pytest.raises(WorkloadError):
+            Interleaver([])
+
+    def test_event_count_and_clients(self, rng):
+        sessions = [
+            ClientSession(
+                f"c{i}", [ScriptedActivity(f"a{i}", [f"f{i}a", f"f{i}b"])]
+            )
+            for i in range(3)
+        ]
+        trace = Interleaver(sessions, run_mean=2.0).generate(100, rng)
+        assert len(trace) == 100
+        assert {e.client_id for e in trace} <= {"c0", "c1", "c2"}
+
+    def test_zero_events(self, rng):
+        sessions = [ClientSession("c", [ScriptedActivity("a", ["x", "y"])])]
+        assert len(Interleaver(sessions).generate(0, rng)) == 0
+
+    def test_negative_events_rejected(self, rng):
+        sessions = [ClientSession("c", [ScriptedActivity("a", ["x", "y"])])]
+        with pytest.raises(WorkloadError):
+            Interleaver(sessions).generate(-1, rng)
+
+    def test_sticky_runs(self):
+        rng = random.Random(7)
+        sessions = [
+            ClientSession(f"c{i}", [ScriptedActivity(f"a{i}", [f"f{i}", f"g{i}"])])
+            for i in range(2)
+        ]
+        trace = Interleaver(sessions, run_mean=20.0).generate(200, rng)
+        clients = [e.client_id for e in trace]
+        switches = sum(1 for a, b in zip(clients, clients[1:]) if a != b)
+        # Mean run 20 over 200 events: on the order of 10 switches, far
+        # fewer than per-event alternation.
+        assert switches < 50
