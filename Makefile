@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench charts examples report csv all clean
+.PHONY: install test bench bench-smoke charts examples report csv all clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick throughput record: microbenchmarks only (FAST_EVENTS traces),
+# with the results -- including events/sec in extra_info -- written to
+# a BENCH_*.json snapshot for before/after comparisons.
+bench-smoke:
+	pytest benchmarks/test_bench_micro.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=BENCH_micro.json -q
 
 charts:
 	pytest benchmarks/ --benchmark-only -s

@@ -120,6 +120,40 @@ class LRUCache(Cache):
         """The key that would be evicted next (cache must be non-empty)."""
         return next(iter(self._order))
 
+    def install_group_at_tail_fast(self, order, keys, stats) -> int:
+        """Inline of :meth:`install_group_at_tail` for hot replay loops.
+
+        ``order`` and ``stats`` are this cache's own ``_order`` dict and
+        stats object, passed in so callers that already hold them avoid
+        the attribute loads.  Count-for-count identical to the public
+        method (the replay fast-path tests assert byte-equal metrics).
+        """
+        newcomers = []
+        seen = set()
+        for key in keys:
+            if key not in order and key not in seen:
+                newcomers.append(key)
+                seen.add(key)
+        capacity = self.capacity
+        newcomers = newcomers[: capacity - 1 if capacity > 1 else 0]
+        if not newcomers:
+            return 0
+        overflow = len(order) + len(newcomers) - capacity
+        if overflow > 0:
+            listener = self.evict_listener
+            popitem = order.popitem
+            for _ in range(overflow):
+                victim, _value = popitem(last=False)
+                if listener is not None:
+                    listener(victim)
+            stats.evictions += overflow
+        move_to_front = order.move_to_end
+        for key in newcomers:
+            order[key] = None
+            move_to_front(key, last=False)
+        stats.installs += len(newcomers)
+        return len(newcomers)
+
     def recency_rank(self, key: str) -> int:
         """0-based rank from the MRU end; raises KeyError if absent.
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .analysis.ascii_chart import render_figure
 from .analysis.export import figure_to_csv, rows_to_markdown
@@ -44,6 +45,7 @@ from .experiments import (
     run_placement,
     run_server_capacity,
 )
+from .sim.perf import PerfTimer, ThroughputReport
 from .traces.reader import read_trace
 from .traces.stats import summarize
 from .traces.writer import write_trace
@@ -72,6 +74,15 @@ def _add_common_options(parser: argparse.ArgumentParser, workload_default: str =
         "--csv", type=Path, default=None, help="also write the series as CSV"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the parameter sweep (default: 1 = serial; "
+            "results are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--width", type=int, default=72, help="chart width in characters"
     )
     parser.add_argument(
@@ -79,43 +90,149 @@ def _add_common_options(parser: argparse.ArgumentParser, workload_default: str =
     )
 
 
-def _emit_figure(figure: FigureData, args: argparse.Namespace) -> None:
+def _emit_figure(
+    figure: FigureData,
+    args: argparse.Namespace,
+    report: Optional[ThroughputReport] = None,
+) -> None:
     """Render one figure to stdout (and CSV when requested)."""
     print(render_figure(figure, width=args.width, height=args.height))
     print()
     print(rows_to_markdown(figure.to_rows()))
+    if report is not None:
+        print(f"\nthroughput: {report.summary()}")
     if args.csv is not None:
         figure_to_csv(figure, args.csv)
         print(f"\nwrote {args.csv}")
 
 
+def _sweep_progress() -> Optional[Callable[[int, int, dict, float], None]]:
+    """A stderr status-line callback with ETA, or None off a terminal.
+
+    Uses the sweep runner's 4-argument progress form: the elapsed time
+    it reports extrapolates to a remaining-time estimate once at least
+    one point has completed.
+    """
+    if not sys.stderr.isatty():
+        return None
+
+    def progress(index: int, total: int, params: dict, elapsed: float) -> None:
+        if index:
+            eta = elapsed / index * (total - index)
+            line = f"sweep {index + 1}/{total}  elapsed {elapsed:5.1f}s  eta {eta:5.1f}s"
+        else:
+            line = f"sweep 1/{total}"
+        print(f"\r{line:<60}", end="", file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _finish_progress(progress) -> None:
+    """Terminate the stderr status line started by :func:`_sweep_progress`."""
+    if progress is not None:
+        print("\r" + " " * 60 + "\r", end="", file=sys.stderr, flush=True)
+
+
+def _run_figure_sweep(run, args: argparse.Namespace, events_per_point: int):
+    """Run one figure sweep with progress + throughput accounting.
+
+    ``run`` is a callable accepting ``workers``/``progress``; the
+    returned report credits ``events_per_point`` × points to one
+    "sweep" phase, giving the CLI's replayed-events-per-second line.
+    """
+    progress = _sweep_progress()
+    started = time.perf_counter()
+    figure = run(workers=args.workers, progress=progress)
+    seconds = time.perf_counter() - started
+    _finish_progress(progress)
+    points = sum(len(series.points) for series in figure.series)
+    timer = PerfTimer()
+    timer.add("sweep", seconds, events_per_point * points)
+    return figure, timer.report()
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    figure = run_fig3(workload=args.workload, events=args.events, seed=args.seed)
-    _emit_figure(figure, args)
+    figure, report = _run_figure_sweep(
+        lambda workers, progress: run_fig3(
+            workload=args.workload,
+            events=args.events,
+            seed=args.seed,
+            workers=workers,
+            progress=progress,
+        ),
+        args,
+        args.events,
+    )
+    _emit_figure(figure, args, report)
     return 0
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
-    figure = run_fig4(workload=args.workload, events=args.events, seed=args.seed)
-    _emit_figure(figure, args)
+    figure, report = _run_figure_sweep(
+        lambda workers, progress: run_fig4(
+            workload=args.workload,
+            events=args.events,
+            seed=args.seed,
+            workers=workers,
+            progress=progress,
+        ),
+        args,
+        args.events,
+    )
+    _emit_figure(figure, args, report)
     return 0
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    figure = run_fig5(workload=args.workload, events=args.events, seed=args.seed)
-    _emit_figure(figure, args)
+    figure, report = _run_figure_sweep(
+        lambda workers, progress: run_fig5(
+            workload=args.workload,
+            events=args.events,
+            seed=args.seed,
+            workers=workers,
+            progress=progress,
+        ),
+        args,
+        args.events,
+    )
+    _emit_figure(figure, args, report)
     return 0
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    figure = run_fig7(events=args.events, seed=args.seed)
-    _emit_figure(figure, args)
+    # One sweep point per workload series; each point replays the whole
+    # trace once per profile, so credit events per series, not per (x, y).
+    progress = _sweep_progress()
+    started = time.perf_counter()
+    figure = run_fig7(
+        events=args.events,
+        seed=args.seed,
+        workers=args.workers,
+        progress=progress,
+    )
+    seconds = time.perf_counter() - started
+    _finish_progress(progress)
+    timer = PerfTimer()
+    timer.add("sweep", seconds, args.events * len(figure.series))
+    _emit_figure(figure, args, timer.report())
     return 0
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    figure = run_fig8(workload=args.workload, events=args.events, seed=args.seed)
-    _emit_figure(figure, args)
+    progress = _sweep_progress()
+    started = time.perf_counter()
+    figure = run_fig8(
+        workload=args.workload,
+        events=args.events,
+        seed=args.seed,
+        workers=args.workers,
+        progress=progress,
+    )
+    seconds = time.perf_counter() - started
+    _finish_progress(progress)
+    timer = PerfTimer()
+    timer.add("sweep", seconds, args.events * len(figure.series))
+    _emit_figure(figure, args, timer.report())
     return 0
 
 

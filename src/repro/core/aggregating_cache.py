@@ -27,8 +27,9 @@ from typing import Iterator, List, Optional, Sequence
 from ..caching.base import Cache, CacheStats
 from ..caching.lru import LRUCache
 from ..errors import CacheConfigurationError
-from .grouping import Group, GroupBuilder
-from .successors import SuccessorTracker
+from ..traces.symbols import intern_sequence
+from .grouping import Group, GroupBuilder, build_group_fast
+from .successors import LRUSuccessorList, SuccessorTracker
 
 
 @dataclass
@@ -138,10 +139,112 @@ class AggregatingClientCache:
         """Place predicted companions; subclass hook for instrumentation."""
         return self._cache.install_group_at_tail(companions)
 
-    def replay(self, sequence: Sequence[str]) -> CacheStats:
-        """Drive the cache with a full access sequence."""
+    def _fast_replay_ok(self) -> bool:
+        """Whether the inlined replay loop matches this configuration.
+
+        The fast loop hard-codes LRU successor lists and the stock group
+        builder, and bypasses the :meth:`access` / ``_install_companions``
+        hooks — so subclasses and alternative policies take the generic
+        per-event path.
+        """
+        return (
+            type(self) is AggregatingClientCache
+            and type(self.tracker) is SuccessorTracker
+            and self.tracker.policy == "lru"
+            and type(self.builder) is GroupBuilder
+            and self.builder.tracker is self.tracker
+            and self.builder.group_size == self.group_size
+            and all(
+                type(slist) is LRUSuccessorList
+                for slist in self.tracker._lists.values()
+            )
+        )
+
+    def _replay_fast(self, sequence: Sequence[str], intern: bool) -> CacheStats:
+        """Inlined replay: observe + access + build over the raw dicts.
+
+        Count-for-count identical to the generic loop (asserted by the
+        fast-path equality tests); hit counts are batched into the stats
+        object once per replay instead of once per event.
+        """
+        tracker = self.tracker
+        prev = tracker._previous
+        if intern:
+            codes, table = intern_sequence(sequence)
+            if prev is not None:
+                prev = table.intern(prev)
+            sequence = codes
+        cache = self._cache
+        order = cache._order
+        listener = cache.evict_listener
+        capacity = cache.capacity
+        stats = cache.stats
+        lists = tracker._lists
+        lists_get = lists.get
+        successor_capacity = tracker.capacity
+        group_size = self.group_size
+        install = cache.install_group_at_tail_fast
+        hits = misses = evictions = 0
+        group_fetches = files_retrieved = predicted_installed = 0
         for file_id in sequence:
-            self.access(file_id)
+            if prev is not None:
+                slist = lists_get(prev)
+                if slist is None:
+                    slist = LRUSuccessorList(successor_capacity)
+                    lists[prev] = slist
+                slist_order = slist._order
+                if file_id in slist_order:
+                    slist_order.move_to_end(file_id)
+                else:
+                    if len(slist_order) >= successor_capacity:
+                        slist_order.popitem(last=False)
+                    slist_order[file_id] = None
+            prev = file_id
+            if file_id in order:
+                order.move_to_end(file_id)
+                hits += 1
+                continue
+            misses += 1
+            while len(order) >= capacity:
+                victim, _value = order.popitem(last=False)
+                if listener is not None:
+                    listener(victim)
+                evictions += 1
+            order[file_id] = None
+            members = build_group_fast(lists_get, group_size, file_id)
+            group_fetches += 1
+            installed = install(order, members[1:], stats)
+            files_retrieved += 1 + installed
+            predicted_installed += installed
+        if hits or misses:
+            tracker._previous = prev
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        log = self.fetch_log
+        log.group_fetches += group_fetches
+        log.files_retrieved += files_retrieved
+        log.predicted_installed += predicted_installed
+        return stats.snapshot()
+
+    def replay(self, sequence: Sequence[str], intern: bool = False) -> CacheStats:
+        """Drive the cache with a full access sequence.
+
+        The common configuration (LRU successor lists, stock builder)
+        runs a specialized inlined loop; anything else falls back to
+        per-event :meth:`access` calls with identical counts.
+        ``intern=True`` replays dense integer codes instead of the
+        original keys — statistics are unchanged (the policy is
+        key-agnostic), but post-replay residency is keyed by codes, so
+        reserve it for metrics-only runs.
+        """
+        if self._fast_replay_ok():
+            return self._replay_fast(sequence, intern)
+        if intern:
+            sequence, _table = intern_sequence(sequence)
+        access = self.access
+        for file_id in sequence:
+            access(file_id)
         return self._cache.stats.snapshot()
 
     def __contains__(self, file_id: str) -> bool:

@@ -132,6 +132,48 @@ class GroupBuilder:
         return chain
 
 
+def build_group_fast(lists_get, target_size: int, demanded) -> List[str]:
+    """Mirror :meth:`GroupBuilder.build` over raw LRU successor lists.
+
+    ``lists_get`` is the ``dict.get`` of a tracker's per-file successor
+    lists, which must all be ``LRUSuccessorList`` instances — the loop
+    reads ``reversed(slist._order)`` directly, the LRU list's
+    most-recent-first prediction order.  Returns the member list
+    (demanded first) without allocating :class:`Group` objects or
+    ``predict()`` lists; replay fast paths use it, and the engine's
+    metrics-equality tests assert it matches the real builder
+    count-for-count.
+    """
+    members = [demanded]
+    used = {demanded}
+    frontier = demanded
+    while len(members) < target_size:
+        candidate = None
+        slist = lists_get(frontier)
+        if slist is not None:
+            for entry in reversed(slist._order):
+                if entry not in used:
+                    candidate = entry
+                    break
+        if candidate is None:
+            for member in members:
+                slist = lists_get(member)
+                if slist is None:
+                    continue
+                for entry in reversed(slist._order):
+                    if entry not in used:
+                        candidate = entry
+                        break
+                if candidate is not None:
+                    break
+        if candidate is None:
+            break
+        members.append(candidate)
+        used.add(candidate)
+        frontier = candidate
+    return members
+
+
 class AdaptiveGroupBuilder(GroupBuilder):
     """Groups whose size adapts to local predictability (Section 6).
 

@@ -201,6 +201,12 @@ class HybridSuccessorList(SuccessorList):
     #: Score decay applied to every retained successor per observation.
     DEFAULT_DECAY = 0.8
 
+    #: Rescale the lazily inflated scores once the common factor grows
+    #: past this bound, keeping floats finite.  Rescaling touches every
+    #: retained entry but fires only every ``log(BOUND)/log(1/decay)``
+    #: observations, so ``observe`` stays amortized O(1).
+    _INFLATION_BOUND = 1e100
+
     def __init__(self, capacity: int, decay: float = DEFAULT_DECAY):
         super().__init__(capacity)
         if capacity == UNBOUNDED:
@@ -210,32 +216,89 @@ class HybridSuccessorList(SuccessorList):
                 f"decay must be in [0, 1), got {decay}"
             )
         self.decay = decay
+        # Lazy global decay: instead of multiplying every retained score
+        # by ``decay`` per observation (O(capacity) per event), scores
+        # are stored pre-multiplied by a shared inflation factor
+        # ``decay ** -stamp``; one observation only bumps the factor and
+        # touches the observed entry.  Effective score = stored /
+        # inflation, and since the factor is common and positive, stored
+        # scores order exactly like effective ones.
         self._scores: Dict[str, float] = {}
+        self._inflation = 1.0
         #: Monotone tiebreaker: later observation wins score ties.
         self._stamp = 0
         self._last_seen: Dict[str, int] = {}
 
     def observe(self, successor: str) -> None:
         self._stamp += 1
-        for retained in self._scores:
-            self._scores[retained] *= self.decay
-        if successor in self._scores:
-            self._scores[successor] += 1.0
+        decay = self.decay
+        scores = self._scores
+        if decay > 0.0:
+            self._inflation /= decay
+            if self._inflation > self._INFLATION_BOUND:
+                self._rescale()
+            bump = self._inflation
         else:
-            if len(self._scores) >= self.capacity:
-                victim = min(
-                    self._scores,
-                    key=lambda s: (self._scores[s], self._last_seen[s]),
-                )
-                del self._scores[victim]
-                del self._last_seen[victim]
-            self._scores[successor] = 1.0
+            # Total decay: every older entry's effective score is
+            # exactly 0; the observed successor's becomes exactly 1.
+            # Representing that lazily, "stored == stamp at last
+            # observation" lets predict()/score_of() recover it without
+            # touching the other entries.
+            bump = None
+        if successor in scores:
+            if bump is None:
+                scores[successor] = 1.0
+            else:
+                scores[successor] += bump
+        else:
+            if len(scores) >= self.capacity:
+                last_seen = self._last_seen
+                if bump is None:
+                    # All retained effective scores are 0 here (the
+                    # stamp was just advanced), so only recency ranks.
+                    victim = min(scores, key=last_seen.__getitem__)
+                else:
+                    # Stored scores share one positive inflation
+                    # factor, so they rank exactly like effective ones.
+                    victim = min(
+                        scores,
+                        key=lambda s: (scores[s], last_seen[s]),
+                    )
+                del scores[victim]
+                del last_seen[victim]
+            scores[successor] = 1.0 if bump is None else bump
         self._last_seen[successor] = self._stamp
 
+    def _rescale(self) -> None:
+        """Fold the inflation factor back into the stored scores."""
+        inflation = self._inflation
+        for retained in self._scores:
+            self._scores[retained] /= inflation
+        self._inflation = 1.0
+
+    def _effective(self, successor: str) -> float:
+        """The true decayed score of a retained successor."""
+        if self.decay > 0.0:
+            return self._scores[successor] / self._inflation
+        return 1.0 if self._last_seen[successor] == self._stamp else 0.0
+
     def predict(self) -> List[str]:
+        if self.decay > 0.0:
+            # Stored scores share one positive inflation factor, so they
+            # sort identically to the effective scores.
+            scores = self._scores
+            last_seen = self._last_seen
+            return sorted(
+                scores, key=lambda s: (-scores[s], -last_seen[s])
+            )
+        last_seen = self._last_seen
+        stamp = self._stamp
         return sorted(
             self._scores,
-            key=lambda s: (-self._scores[s], -self._last_seen[s]),
+            key=lambda s: (
+                -1.0 if last_seen[s] == stamp else 0.0,
+                -last_seen[s],
+            ),
         )
 
     def __contains__(self, successor: str) -> bool:
@@ -246,7 +309,9 @@ class HybridSuccessorList(SuccessorList):
 
     def score_of(self, successor: str) -> float:
         """Current decayed score of a retained successor (for tests)."""
-        return self._scores[successor]
+        if successor not in self._scores:
+            raise KeyError(successor)
+        return self._effective(successor)
 
 
 #: Policy-name registry for CLI/sweep construction.
@@ -320,6 +385,20 @@ class SuccessorTracker:
         slist = self._lists.get(file_id)
         return slist.most_likely() if slist is not None else None
 
+    def probe(self, predecessor: str, successor: str) -> bool:
+        """Whether ``successor`` is currently retained on ``predecessor``'s
+        list, with no side effects — the fair check-then-update primitive
+        online evaluations need (Figure 5).
+        """
+        slist = self._lists.get(predecessor)
+        return slist is not None and successor in slist
+
+    def would_miss(self, predecessor: str, successor: str) -> bool:
+        """Whether predicting ``predecessor``'s successors right now would
+        miss ``successor`` — i.e. the metadata does not retain it.
+        """
+        return not self.probe(predecessor, successor)
+
     def has_metadata_for(self, file_id: str) -> bool:
         """Whether any successor has ever been observed for the file."""
         return file_id in self._lists
@@ -376,16 +455,17 @@ def evaluate_successor_misses(
     contributes one trial.
     """
     tracker = SuccessorTracker(policy=policy, capacity=capacity)
+    would_miss = tracker.would_miss
+    observe_transition = tracker.observe_transition
     opportunities = 0
     misses = 0
     previous: Optional[str] = None
     for file_id in sequence:
         if previous is not None:
             opportunities += 1
-            slist = tracker._lists.get(previous)
-            if slist is None or file_id not in slist:
+            if would_miss(previous, file_id):
                 misses += 1
-            tracker.observe_transition(previous, file_id)
+            observe_transition(previous, file_id)
         previous = file_id
     return SuccessorMissReport(
         policy=policy,

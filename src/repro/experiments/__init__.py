@@ -17,6 +17,7 @@ from .common import (
     FIG5_LIST_SIZES,
     FIG7_LENGTHS,
     FIG8_FILTERS,
+    workload_codes,
     workload_sequence,
     workload_trace,
 )
@@ -30,11 +31,17 @@ from .extensions import (
     run_placement,
     run_server_capacity,
 )
-from .fig3 import demand_fetches, fetch_reduction, run_fig3
-from .fig4 import improvement_over_lru, make_server_cache, run_fig4, server_hit_rate
-from .fig5 import run_fig5
-from .fig7 import run_fig7
-from .fig8 import run_fig8
+from .fig3 import demand_fetches, fetch_reduction, fig3_point, run_fig3
+from .fig4 import (
+    fig4_point,
+    improvement_over_lru,
+    make_server_cache,
+    run_fig4,
+    server_hit_rate,
+)
+from .fig5 import fig5_point, run_fig5
+from .fig7 import fig7_point, run_fig7
+from .fig8 import fig8_point, run_fig8
 from .headline import HeadlineReport, run_headline
 
 __all__ = [
@@ -51,6 +58,11 @@ __all__ = [
     "HeadlineReport",
     "demand_fetches",
     "fetch_reduction",
+    "fig3_point",
+    "fig4_point",
+    "fig5_point",
+    "fig7_point",
+    "fig8_point",
     "improvement_over_lru",
     "make_server_cache",
     "run_adaptation",
@@ -68,6 +80,7 @@ __all__ = [
     "run_placement",
     "run_server_capacity",
     "server_hit_rate",
+    "workload_codes",
     "workload_sequence",
     "workload_trace",
 ]

@@ -12,8 +12,10 @@ from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
+from ..traces.artifacts import load_or_generate
 from ..traces.events import Trace
-from ..workloads.synthetic import WORKLOADS, make_workload
+from ..traces.symbols import intern_sequence
+from ..workloads.synthetic import WORKLOADS
 
 #: Default trace length for CLI / full experiment runs.
 DEFAULT_EVENTS = 60_000
@@ -51,9 +53,13 @@ def workload_trace(name: str, events: int, seed: Optional[int] = None) -> Trace:
     Memoization matters: a figure sweep replays the same trace dozens of
     times, and regeneration would dominate the run.  Callers must treat
     the returned trace as immutable.
+
+    Behind the in-process memo sits the on-disk artifact cache
+    (:mod:`repro.traces.artifacts`), so sweep worker processes, repeat
+    CLI runs, and benchmark invocations skip regeneration too.
     """
     check_workload(name)
-    return make_workload(name, events, seed)
+    return load_or_generate(name, events, seed)
 
 
 @lru_cache(maxsize=32)
@@ -62,3 +68,19 @@ def workload_sequence(
 ) -> Tuple[str, ...]:
     """The memoized access sequence (file ids) of one paper workload."""
     return tuple(workload_trace(name, events, seed).file_ids())
+
+
+@lru_cache(maxsize=32)
+def workload_codes(
+    name: str, events: int, seed: Optional[int] = None
+) -> Tuple[int, ...]:
+    """The memoized access sequence as dense integer codes.
+
+    Every cache policy, successor list, and entropy estimator in the
+    library is key-agnostic, so replaying these codes yields counts
+    identical to replaying the file-id strings — only faster, because
+    integer hashing beats string hashing in the per-event hot loops.
+    The figure sweeps replay through this form.
+    """
+    codes, _table = intern_sequence(workload_sequence(name, events, seed))
+    return tuple(codes)

@@ -14,18 +14,20 @@ workload the least.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence
 
 from ..analysis.series import FigureData
 from ..core.aggregating_cache import AggregatingClientCache
 from ..errors import ExperimentError
+from ..sim.sweep import SweepGrid, run_sweep
 from .common import (
     DEFAULT_EVENTS,
     DEFAULT_SUCCESSOR_CAPACITY,
     FIG3_CAPACITIES,
     FIG3_GROUP_SIZES,
     check_workload,
-    workload_sequence,
+    workload_codes,
 )
 
 
@@ -49,6 +51,28 @@ def demand_fetches(
     return cache.demand_fetches
 
 
+def fig3_point(
+    group_size: int,
+    capacity: int,
+    workload: str = "server",
+    events: int = DEFAULT_EVENTS,
+    seed: Optional[int] = None,
+    successor_capacity: int = DEFAULT_SUCCESSOR_CAPACITY,
+) -> Dict[str, int]:
+    """One Figure 3 grid point: demand fetches at one (g, capacity).
+
+    Module-level (and replaying the memoized integer-coded sequence) so
+    ``run_sweep`` can fan points over worker processes via
+    ``functools.partial``.
+    """
+    sequence = workload_codes(workload, events, seed)
+    return {
+        "fetches": demand_fetches(
+            sequence, capacity, group_size, successor_capacity
+        )
+    }
+
+
 def run_fig3(
     workload: str = "server",
     events: int = DEFAULT_EVENTS,
@@ -56,12 +80,35 @@ def run_fig3(
     group_sizes: Sequence[int] = FIG3_GROUP_SIZES,
     successor_capacity: int = DEFAULT_SUCCESSOR_CAPACITY,
     seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[..., None]] = None,
 ) -> FigureData:
-    """Reproduce one Figure 3 panel for the named workload."""
+    """Reproduce one Figure 3 panel for the named workload.
+
+    ``workers`` and ``progress`` pass through to
+    :func:`repro.sim.sweep.run_sweep`; parallel runs produce the exact
+    records of the serial path, in the same order.
+    """
     check_workload(workload)
     if not capacities or not group_sizes:
         raise ExperimentError("capacities and group_sizes must be non-empty")
-    sequence = workload_sequence(workload, events, seed)
+    grid = (
+        SweepGrid()
+        .add_axis("group_size", group_sizes)
+        .add_axis("capacity", capacities)
+    )
+    records = run_sweep(
+        grid,
+        partial(
+            fig3_point,
+            workload=workload,
+            events=events,
+            seed=seed,
+            successor_capacity=successor_capacity,
+        ),
+        progress=progress,
+        workers=workers,
+    )
     figure = FigureData(
         figure_id=f"fig3-{workload}",
         title=f"Figure 3 ({workload}): demand fetches vs cache capacity",
@@ -71,12 +118,10 @@ def run_fig3(
     )
     for group_size in group_sizes:
         label = "lru" if group_size == 1 else f"g{group_size}"
-        series = figure.add_series(label)
-        for capacity in capacities:
-            fetches = demand_fetches(
-                sequence, capacity, group_size, successor_capacity
-            )
-            series.add(capacity, fetches)
+        figure.add_series(label)
+    for record in records:
+        label = "lru" if record["group_size"] == 1 else f"g{record['group_size']}"
+        figure.get_series(label).add(record["capacity"], record["fetches"])
     return figure
 
 

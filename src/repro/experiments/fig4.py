@@ -15,7 +15,8 @@ while the aggregating cache degrades only mildly because inter-file
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence
 
 from ..analysis.series import FigureData
 from ..caching.base import Cache
@@ -24,13 +25,14 @@ from ..caching.lru import LRUCache
 from ..caching.multilevel import TwoLevelHierarchy
 from ..core.aggregating_cache import AggregatingServerCache
 from ..errors import ExperimentError
+from ..sim.sweep import SweepGrid, run_sweep
 from .common import (
     DEFAULT_EVENTS,
     DEFAULT_SUCCESSOR_CAPACITY,
     FIG4_FILTER_CAPACITIES,
     FIG4_SERVER_CAPACITY,
     check_workload,
-    workload_sequence,
+    workload_codes,
 )
 
 #: Figure 4's three server schemes, in the paper's legend order.
@@ -73,6 +75,27 @@ def server_hit_rate(
     return 100.0 * result.server_hit_rate
 
 
+def fig4_point(
+    scheme: str,
+    filter_capacity: int,
+    workload: str = "workstation",
+    events: int = DEFAULT_EVENTS,
+    seed: Optional[int] = None,
+    server_capacity: int = FIG4_SERVER_CAPACITY,
+    successor_capacity: int = DEFAULT_SUCCESSOR_CAPACITY,
+) -> Dict[str, float]:
+    """One Figure 4 grid point: server hit rate for one (scheme, filter).
+
+    Module-level and picklable for parallel sweeps; the server cache is
+    built inside the point so worker processes never ship live caches.
+    """
+    sequence = workload_codes(workload, events, seed)
+    cache = make_server_cache(
+        scheme, server_capacity, successor_capacity=successor_capacity
+    )
+    return {"hit_rate": server_hit_rate(sequence, filter_capacity, cache)}
+
+
 def run_fig4(
     workload: str = "workstation",
     events: int = DEFAULT_EVENTS,
@@ -81,12 +104,35 @@ def run_fig4(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     successor_capacity: int = DEFAULT_SUCCESSOR_CAPACITY,
     seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[..., None]] = None,
 ) -> FigureData:
-    """Reproduce one Figure 4 panel for the named workload."""
+    """Reproduce one Figure 4 panel for the named workload.
+
+    ``workers`` and ``progress`` pass through to
+    :func:`repro.sim.sweep.run_sweep`.
+    """
     check_workload(workload)
     if not filter_capacities or not schemes:
         raise ExperimentError("filter_capacities and schemes must be non-empty")
-    sequence = workload_sequence(workload, events, seed)
+    grid = (
+        SweepGrid()
+        .add_axis("scheme", schemes)
+        .add_axis("filter_capacity", filter_capacities)
+    )
+    records = run_sweep(
+        grid,
+        partial(
+            fig4_point,
+            workload=workload,
+            events=events,
+            seed=seed,
+            server_capacity=server_capacity,
+            successor_capacity=successor_capacity,
+        ),
+        progress=progress,
+        workers=workers,
+    )
     figure = FigureData(
         figure_id=f"fig4-{workload}",
         title=(
@@ -98,13 +144,11 @@ def run_fig4(
         notes=f"{events} events; no client cooperation",
     )
     for scheme in schemes:
-        series = figure.add_series(scheme)
-        for filter_capacity in filter_capacities:
-            cache = make_server_cache(
-                scheme, server_capacity, successor_capacity=successor_capacity
-            )
-            rate = server_hit_rate(sequence, filter_capacity, cache)
-            series.add(filter_capacity, rate)
+        figure.add_series(scheme)
+    for record in records:
+        figure.get_series(record["scheme"]).add(
+            record["filter_capacity"], record["hit_rate"]
+        )
     return figure
 
 

@@ -13,20 +13,38 @@ successors — within a handful of entries.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence
 
 from ..analysis.series import FigureData
 from ..core.successors import evaluate_successor_misses
 from ..errors import ExperimentError
+from ..sim.sweep import SweepGrid, run_sweep
 from .common import (
     DEFAULT_EVENTS,
     FIG5_LIST_SIZES,
     check_workload,
-    workload_sequence,
+    workload_codes,
 )
 
 #: Figure 5's legend order.
 DEFAULT_POLICIES = ("oracle", "lru", "lfu")
+
+#: Legend labels per policy name.
+_POLICY_LABELS = {"oracle": "Oracle", "lru": "LRU", "lfu": "LFU"}
+
+
+def fig5_point(
+    policy: str,
+    size: int,
+    workload: str = "workstation",
+    events: int = DEFAULT_EVENTS,
+    seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """One Figure 5 grid point: miss probability for one (policy, size)."""
+    sequence = workload_codes(workload, events, seed)
+    report = evaluate_successor_misses(sequence, policy, size)
+    return {"miss_probability": report.miss_probability}
 
 
 def run_fig5(
@@ -35,12 +53,28 @@ def run_fig5(
     list_sizes: Sequence[int] = FIG5_LIST_SIZES,
     policies: Sequence[str] = DEFAULT_POLICIES,
     seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[..., None]] = None,
 ) -> FigureData:
-    """Reproduce one Figure 5 panel for the named workload."""
+    """Reproduce one Figure 5 panel for the named workload.
+
+    ``workers`` and ``progress`` pass through to
+    :func:`repro.sim.sweep.run_sweep`.
+    """
     check_workload(workload)
     if not list_sizes or not policies:
         raise ExperimentError("list_sizes and policies must be non-empty")
-    sequence = workload_sequence(workload, events, seed)
+    grid = (
+        SweepGrid()
+        .add_axis("policy", policies)
+        .add_axis("size", list_sizes)
+    )
+    records = run_sweep(
+        grid,
+        partial(fig5_point, workload=workload, events=events, seed=seed),
+        progress=progress,
+        workers=workers,
+    )
     figure = FigureData(
         figure_id=f"fig5-{workload}",
         title=(
@@ -52,9 +86,8 @@ def run_fig5(
         notes=f"{events} events; check-then-update online evaluation",
     )
     for policy in policies:
-        label = {"oracle": "Oracle", "lru": "LRU", "lfu": "LFU"}.get(policy, policy)
-        series = figure.add_series(label)
-        for size in list_sizes:
-            report = evaluate_successor_misses(sequence, policy, size)
-            series.add(size, report.miss_probability)
+        figure.add_series(_POLICY_LABELS.get(policy, policy))
+    for record in records:
+        label = _POLICY_LABELS.get(record["policy"], record["policy"])
+        figure.get_series(label).add(record["size"], record["miss_probability"])
     return figure

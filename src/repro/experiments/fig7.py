@@ -13,15 +13,34 @@ one bit at length 1.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..analysis.series import FigureData
 from ..core.entropy import entropy_profile
 from ..errors import ExperimentError
-from .common import DEFAULT_EVENTS, FIG7_LENGTHS, check_workload, workload_sequence
+from ..sim.sweep import SweepGrid, run_sweep
+from .common import DEFAULT_EVENTS, FIG7_LENGTHS, check_workload, workload_codes
 
 #: Figure 7's legend order.
 DEFAULT_WORKLOADS = ("users", "write", "server", "workstation")
+
+
+def fig7_point(
+    workload: str,
+    events: int = DEFAULT_EVENTS,
+    lengths: Sequence[int] = FIG7_LENGTHS,
+    seed: Optional[int] = None,
+) -> Dict[str, Tuple[Tuple[int, float], ...]]:
+    """One Figure 7 grid point: the full entropy profile of one workload.
+
+    Whole-workload granularity (not per length) because the profile is
+    computed in one pass over the sequence; splitting it would repeat
+    that pass per length.
+    """
+    sequence = workload_codes(workload, events, seed)
+    profile = entropy_profile(sequence, tuple(lengths))
+    return {"profile": tuple((length, value) for length, value in profile)}
 
 
 def run_fig7(
@@ -29,12 +48,25 @@ def run_fig7(
     events: int = DEFAULT_EVENTS,
     lengths: Sequence[int] = FIG7_LENGTHS,
     seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[..., None]] = None,
 ) -> FigureData:
-    """Reproduce Figure 7 across the given workloads."""
+    """Reproduce Figure 7 across the given workloads.
+
+    ``workers`` and ``progress`` pass through to
+    :func:`repro.sim.sweep.run_sweep`.
+    """
     if not workloads or not lengths:
         raise ExperimentError("workloads and lengths must be non-empty")
     for workload in workloads:
         check_workload(workload)
+    grid = SweepGrid().add_axis("workload", workloads)
+    records = run_sweep(
+        grid,
+        partial(fig7_point, events=events, lengths=tuple(lengths), seed=seed),
+        progress=progress,
+        workers=workers,
+    )
     figure = FigureData(
         figure_id="fig7",
         title="Figure 7: successor entropy vs successor sequence length",
@@ -42,9 +74,8 @@ def run_fig7(
         ylabel="Successor Entropy (bits)",
         notes=f"{events} events per workload",
     )
-    for workload in workloads:
-        sequence = workload_sequence(workload, events, seed)
-        series = figure.add_series(workload)
-        for length, value in entropy_profile(sequence, lengths):
+    for record in records:
+        series = figure.add_series(record["workload"])
+        for length, value in record["profile"]:
             series.add(length, value)
     return figure

@@ -14,11 +14,13 @@ first-touches of new working sets.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..analysis.series import FigureData
 from ..core.entropy import filtered_entropy_profile
 from ..errors import ExperimentError
+from ..sim.sweep import SweepGrid, run_sweep
 from .common import (
     DEFAULT_EVENTS,
     FIG7_LENGTHS,
@@ -28,18 +30,53 @@ from .common import (
 )
 
 
+def fig8_point(
+    filter_capacity: int,
+    workload: str = "write",
+    events: int = DEFAULT_EVENTS,
+    lengths: Sequence[int] = FIG7_LENGTHS,
+    seed: Optional[int] = None,
+) -> Dict[str, Tuple[Tuple[int, float], ...]]:
+    """One Figure 8 grid point: the entropy profile of one filtered stream.
+
+    Worker processes rematerialize the trace themselves (served by the
+    on-disk artifact cache) instead of shipping it through pickle.
+    """
+    trace = workload_trace(workload, events, seed)
+    profile = filtered_entropy_profile(trace, filter_capacity, tuple(lengths))
+    return {"profile": tuple((length, value) for length, value in profile)}
+
+
 def run_fig8(
     workload: str = "write",
     events: int = DEFAULT_EVENTS,
     filter_capacities: Sequence[int] = FIG8_FILTERS,
     lengths: Sequence[int] = FIG7_LENGTHS,
     seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[..., None]] = None,
 ) -> FigureData:
-    """Reproduce one Figure 8 panel for the named workload."""
+    """Reproduce one Figure 8 panel for the named workload.
+
+    ``workers`` and ``progress`` pass through to
+    :func:`repro.sim.sweep.run_sweep`.
+    """
     check_workload(workload)
     if not filter_capacities or not lengths:
         raise ExperimentError("filter_capacities and lengths must be non-empty")
-    trace = workload_trace(workload, events, seed)
+    grid = SweepGrid().add_axis("filter_capacity", filter_capacities)
+    records = run_sweep(
+        grid,
+        partial(
+            fig8_point,
+            workload=workload,
+            events=events,
+            lengths=tuple(lengths),
+            seed=seed,
+        ),
+        progress=progress,
+        workers=workers,
+    )
     figure = FigureData(
         figure_id=f"fig8-{workload}",
         title=(
@@ -50,8 +87,8 @@ def run_fig8(
         ylabel="Successor Entropy (bits)",
         notes=f"{events} events; series label = intervening LRU capacity",
     )
-    for capacity in filter_capacities:
-        series = figure.add_series(str(capacity))
-        for length, value in filtered_entropy_profile(trace, capacity, lengths):
+    for record in records:
+        series = figure.add_series(str(record["filter_capacity"]))
+        for length, value in record["profile"]:
             series.add(length, value)
     return figure

@@ -15,9 +15,15 @@ from .metrics import (
     steady_state_hit_rate,
     warmup_split,
 )
-from .sweep import Record, SweepGrid, pivot, run_sweep
+from .perf import PerfTimer, PhaseStats, ThroughputReport, measure_replay
+from .sweep import POINT_SECONDS_KEY, Record, SweepGrid, pivot, run_sweep
 
 __all__ = [
+    "POINT_SECONDS_KEY",
+    "PerfTimer",
+    "PhaseStats",
+    "ThroughputReport",
+    "measure_replay",
     "CostModel",
     "DistributedFileSystem",
     "InstrumentedAggregatingCache",

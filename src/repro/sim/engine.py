@@ -10,19 +10,33 @@ The engine is a *replay* simulator: it consumes an access sequence and
 counts — no clocks, no queueing — because every metric the paper
 reports (demand fetches, hit rates) is a counting metric and the paper
 explicitly rejects timing as a modelling input (Section 2.2).
+
+Replay throughput is the budget every figure spends, so
+:meth:`DistributedFileSystem.replay` carries a specialized fast loop
+for the common configuration (LRU successor lists, plain LRU caches,
+no write invalidation): the per-event work of ``tracker.observe`` +
+``cache.access`` + ``builder.build`` is inlined over the caches'
+ordered dicts, eliminating the CPython call overhead that dominates
+the hot path.  The loop is count-for-count identical to the generic
+path — the tests assert byte-identical :class:`SystemMetrics` — and
+any configuration the fast loop does not cover falls back to the
+generic one.  Passing ``intern=True`` additionally replaces file-id
+strings with dense integer codes for the duration of the replay (all
+policies are key-agnostic, so every counter is unchanged).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..caching.base import Cache, CacheStats
 from ..caching.lru import LRUCache
-from ..core.grouping import GroupBuilder
-from ..core.successors import SuccessorTracker
+from ..core.grouping import GroupBuilder, build_group_fast
+from ..core.successors import LRUSuccessorList, SuccessorTracker
 from ..errors import SimulationError
-from ..traces.events import Trace
+from ..traces.events import EventKind, Trace
+from ..traces.symbols import SymbolTable, intern_sequence
 
 
 class Store:
@@ -180,6 +194,20 @@ class DistributedFileSystem:
         )
         return False
 
+    def _apply_mutation(self, client_id: str, file_id, kind: EventKind) -> None:
+        """Invalidate cached copies for one mutation (see class docs)."""
+        if kind is EventKind.DELETE:
+            for cache in self.clients.values():
+                if cache.invalidate(file_id):
+                    self.invalidations += 1
+            if self.server_cache is not None:
+                if self.server_cache.invalidate(file_id):
+                    self.invalidations += 1
+            return
+        for other_id, cache in self.clients.items():
+            if other_id != client_id and cache.invalidate(file_id):
+                self.invalidations += 1
+
     def process_mutation(self, client_id: str, event) -> None:
         """Apply one mutation event's consistency effects.
 
@@ -187,27 +215,199 @@ class DistributedFileSystem:
         removes the file everywhere.  The writing client keeps (or, for
         DELETE, also loses) its copy.
         """
-        from ..traces.events import EventKind
+        self._apply_mutation(client_id, event.file_id, event.kind)
 
-        if event.kind is EventKind.DELETE:
-            for cache in self.clients.values():
-                if cache.invalidate(event.file_id):
-                    self.invalidations += 1
-            if self.server_cache is not None:
-                if self.server_cache.invalidate(event.file_id):
-                    self.invalidations += 1
-            return
-        for other_id, cache in self.clients.items():
-            if other_id != client_id and cache.invalidate(event.file_id):
-                self.invalidations += 1
+    def _fast_replay_ok(self) -> bool:
+        """Whether the specialized replay loop matches this configuration.
 
-    def replay(self, trace: Trace) -> SystemMetrics:
+        The fast loop hard-codes LRU successor lists, plain LRU caches,
+        the stock group builder, and no write invalidation; anything
+        else (subclasses, alternative policies) takes the generic path.
+        """
+        if self.invalidate_on_write:
+            return False
+        if type(self.tracker) is not SuccessorTracker or self.tracker.policy != "lru":
+            return False
+        if type(self.builder) is not GroupBuilder:
+            return False
+        if self.builder.tracker is not self.tracker:
+            return False
+        if self.builder.group_size != self.group_size:
+            return False
+        if self.server_cache is not None and type(self.server_cache) is not LRUCache:
+            return False
+        if any(type(cache) is not LRUCache for cache in self.clients.values()):
+            return False
+        if any(
+            type(slist) is not LRUSuccessorList
+            for slist in self.tracker._lists.values()
+        ):
+            return False
+        return True
+
+    def _replay_fast(self, trace: Trace, intern: bool) -> SystemMetrics:
+        """Inlined replay loop for the common LRU configuration.
+
+        Count-for-count identical to driving :meth:`access` per event;
+        the bound-method and dataclass traffic of the generic path is
+        replaced with direct OrderedDict operations, batched stats
+        updates per client segment, and allocation-free group builds.
+        """
+        events = trace.events
+        prev = self.tracker._previous
+        if intern:
+            table = SymbolTable()
+            codes = table.encode([event.file_id for event in events])
+            if prev is not None:
+                prev = table.intern(prev)
+        else:
+            codes = [event.file_id for event in events]
+        client_ids = [event.client_id or "client00" for event in events]
+
+        tracker = self.tracker
+        lists = tracker._lists
+        lists_get = lists.get
+        successor_capacity = tracker.capacity
+        group_size = self.group_size
+        cooperative = self.cooperative
+        clients = self.clients
+        client_capacity = self.client_capacity
+        server = self.server_cache
+        server_mirror = self._server_stats
+        if server is not None:
+            server_order = server._order
+            server_stats = server.stats
+            server_capacity = server.capacity
+            server_listener = server.evict_listener
+            server_install = server.install_group_at_tail_fast
+
+        remote_requests = 0
+        store_fetches = 0
+        current_client = None
+        cache = None
+        cache_listener = None
+        order = None
+        cache_stats = None
+        pending_hits = 0
+
+        for file_id, client_id in zip(codes, client_ids):
+            if cooperative:
+                if prev is not None:
+                    slist = lists_get(prev)
+                    if slist is None:
+                        slist = LRUSuccessorList(successor_capacity)
+                        lists[prev] = slist
+                    slist_order = slist._order
+                    if file_id in slist_order:
+                        slist_order.move_to_end(file_id)
+                    else:
+                        if len(slist_order) >= successor_capacity:
+                            slist_order.popitem(last=False)
+                        slist_order[file_id] = None
+                prev = file_id
+
+            if client_id != current_client:
+                if pending_hits:
+                    cache_stats.hits += pending_hits
+                    pending_hits = 0
+                current_client = client_id
+                cache = clients.get(client_id)
+                if cache is None:
+                    cache = LRUCache(client_capacity)
+                    clients[client_id] = cache
+                cache_listener = cache.evict_listener
+                order = cache._order
+                cache_stats = cache.stats
+
+            if file_id in order:
+                order.move_to_end(file_id)
+                pending_hits += 1
+                continue
+
+            # ---- client miss: demand admit, then one group request ----
+            cache_stats.misses += 1
+            while len(order) >= client_capacity:
+                victim, _value = order.popitem(last=False)
+                if cache_listener is not None:
+                    cache_listener(victim)
+                cache_stats.evictions += 1
+            order[file_id] = None
+            remote_requests += 1
+
+            if not cooperative:
+                if prev is not None:
+                    slist = lists_get(prev)
+                    if slist is None:
+                        slist = LRUSuccessorList(successor_capacity)
+                        lists[prev] = slist
+                    slist_order = slist._order
+                    if file_id in slist_order:
+                        slist_order.move_to_end(file_id)
+                    else:
+                        if len(slist_order) >= successor_capacity:
+                            slist_order.popitem(last=False)
+                        slist_order[file_id] = None
+                prev = file_id
+
+            members = build_group_fast(lists_get, group_size, file_id)
+            companions = members[1:]
+            if server is not None:
+                if file_id in server_order:
+                    server_order.move_to_end(file_id)
+                    server_stats.hits += 1
+                    server_mirror.hits += 1
+                else:
+                    server_stats.misses += 1
+                    server_mirror.misses += 1
+                    store_fetches += 1
+                    while len(server_order) >= server_capacity:
+                        victim, _value = server_order.popitem(last=False)
+                        if server_listener is not None:
+                            server_listener(victim)
+                        server_stats.evictions += 1
+                    server_order[file_id] = None
+                for member in companions:
+                    if member not in server_order:
+                        store_fetches += 1
+                server_install(server_order, companions, server_stats)
+            else:
+                store_fetches += len(members)
+            cache.install_group_at_tail_fast(order, companions, cache_stats)
+
+        if pending_hits:
+            cache_stats.hits += pending_hits
+        if events:
+            tracker._previous = prev
+        self.remote_requests += remote_requests
+        self.store.fetches += store_fetches
+        return self.metrics()
+
+    def replay(self, trace: Trace, intern: bool = False) -> SystemMetrics:
         """Drive the system with a trace (events carry client ids).
 
         Every event is a demand access to its file (a write still needs
         the file resident); with ``invalidate_on_write`` the mutation
         side effects are applied after the access.
+
+        ``intern=True`` replays dense integer file-id codes instead of
+        the original strings — every counter in the returned metrics is
+        identical (all policies are key-agnostic), but post-replay cache
+        contents are keyed by codes, so reserve it for metrics-only
+        runs.  Configurations the specialized loop does not cover run
+        the generic per-event path either way.
         """
+        if self._fast_replay_ok():
+            return self._replay_fast(trace, intern)
+        if intern:
+            table = SymbolTable()
+            interned = table.intern
+            for event in trace:
+                client = event.client_id or "client00"
+                file_id = interned(event.file_id)
+                self.access(client, file_id)
+                if self.invalidate_on_write and event.is_mutation:
+                    self._apply_mutation(client, file_id, event.kind)
+            return self.metrics()
         for event in trace:
             client = event.client_id or "client00"
             self.access(client, event.file_id)
@@ -231,15 +431,24 @@ class DistributedFileSystem:
         )
 
 
-def replay_cache(cache, sequence: Iterable[str]) -> CacheStats:
+def replay_cache(cache, sequence: Iterable[str], intern: bool = False) -> CacheStats:
     """Drive any object with an ``access(key)`` method; return its stats.
 
     The universal single-cache replay loop used by experiments: works
     for plain :class:`~repro.caching.base.Cache` policies, the
     aggregating caches, and :class:`~repro.core.predictors.PrefetchingCache`.
+
+    ``intern=True`` first encodes the sequence to dense integer codes
+    (one pass, one shared :class:`~repro.traces.symbols.SymbolTable`),
+    which speeds up hash-heavy policies on long string keys; the
+    returned statistics are unchanged because every policy is
+    key-agnostic.
     """
+    if intern:
+        sequence, _table = intern_sequence(sequence)
+    access = cache.access
     for key in sequence:
-        cache.access(key)
+        access(key)
     stats = getattr(cache, "stats", None)
     if stats is None:
         raise SimulationError(

@@ -1,0 +1,175 @@
+"""Throughput telemetry for sweeps and replays.
+
+Every figure is a parameter sweep replaying long traces, so the number
+that governs how much experiment space the repo can cover is *replay
+throughput* — events per second of wall time.  This module is the one
+place that measures it: a phase timer that accumulates named wall-time
+buckets and event counts, and a report object the CLI, sweep records,
+and the benchmark JSON all serialize from.
+
+No clocks leak into simulation semantics (the engine remains a pure
+counting model); timing here wraps *around* replays, never inside them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall time and event count for one named phase."""
+
+    name: str
+    seconds: float = 0.0
+    events: int = 0
+    entries: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        """Throughput of the phase (0.0 when no time was recorded)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.events / self.seconds
+
+
+@dataclass
+class ThroughputReport:
+    """Snapshot of a timer: per-phase rows plus overall throughput."""
+
+    phases: List[PhaseStats] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all phases."""
+        return sum(phase.seconds for phase in self.phases)
+
+    @property
+    def total_events(self) -> int:
+        """Events summed over all phases."""
+        return sum(phase.events for phase in self.phases)
+
+    @property
+    def events_per_second(self) -> float:
+        """Overall throughput across every phase (0.0 when untimed)."""
+        seconds = self.total_seconds
+        if seconds <= 0.0:
+            return 0.0
+        return self.total_events / seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, used by the benchmark harness."""
+        return {
+            "total_seconds": self.total_seconds,
+            "total_events": self.total_events,
+            "events_per_second": self.events_per_second,
+            "phases": {
+                phase.name: {
+                    "seconds": phase.seconds,
+                    "events": phase.events,
+                    "entries": phase.entries,
+                    "events_per_second": phase.events_per_second,
+                }
+                for phase in self.phases
+            },
+        }
+
+    def as_rows(self) -> List[List[Any]]:
+        """Tabular form for ``rows_to_markdown`` (header row first)."""
+        rows: List[List[Any]] = [["phase", "seconds", "events", "events/s"]]
+        for phase in self.phases:
+            rows.append(
+                [
+                    phase.name,
+                    f"{phase.seconds:.3f}",
+                    str(phase.events),
+                    f"{phase.events_per_second:,.0f}",
+                ]
+            )
+        rows.append(
+            [
+                "total",
+                f"{self.total_seconds:.3f}",
+                str(self.total_events),
+                f"{self.events_per_second:,.0f}",
+            ]
+        )
+        return rows
+
+    def summary(self) -> str:
+        """One human-readable line for CLI status output."""
+        return (
+            f"{self.total_events:,} events in {self.total_seconds:.2f}s "
+            f"({self.events_per_second:,.0f} events/s)"
+        )
+
+
+class PerfTimer:
+    """Accumulates named wall-time phases with optional event counts.
+
+    Usage::
+
+        timer = PerfTimer()
+        with timer.phase("generate"):
+            trace = make_workload(...)
+        with timer.phase("replay", events=len(trace)):
+            system.replay(trace)
+        print(timer.report().summary())
+
+    Phases re-entered by name accumulate; ``add`` records time measured
+    elsewhere (e.g. per-point seconds returned by sweep workers).
+    """
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseStats] = {}
+
+    def _bucket(self, name: str) -> PhaseStats:
+        bucket = self._phases.get(name)
+        if bucket is None:
+            bucket = PhaseStats(name=name)
+            self._phases[name] = bucket
+        return bucket
+
+    @contextmanager
+    def phase(self, name: str, events: int = 0) -> Iterator[PhaseStats]:
+        """Time one phase; ``events`` is credited on clean exit."""
+        bucket = self._bucket(name)
+        start = time.perf_counter()
+        try:
+            yield bucket
+        finally:
+            bucket.seconds += time.perf_counter() - start
+            bucket.events += events
+            bucket.entries += 1
+
+    def add(self, name: str, seconds: float, events: int = 0) -> None:
+        """Credit externally measured time (and events) to a phase."""
+        bucket = self._bucket(name)
+        bucket.seconds += seconds
+        bucket.events += events
+        bucket.entries += 1
+
+    def report(self) -> ThroughputReport:
+        """Snapshot the accumulated phases in first-use order."""
+        return ThroughputReport(
+            phases=[
+                PhaseStats(
+                    name=phase.name,
+                    seconds=phase.seconds,
+                    events=phase.events,
+                    entries=phase.entries,
+                )
+                for phase in self._phases.values()
+            ]
+        )
+
+
+def measure_replay(replay, events: int) -> ThroughputReport:
+    """Time one zero-argument replay callable as a single-phase report."""
+    timer = PerfTimer()
+    with timer.phase("replay", events=events):
+        replay()
+    return timer.report()

@@ -6,18 +6,42 @@ module gives those sweeps one shape: a grid of named parameters, a
 callable that maps one parameter point to a result record, and a list
 of flat dict records out, ready for the analysis layer to pivot into
 series.
+
+Grid points are independent by construction (``run_point`` is a pure
+function of its parameters), so the runner can evaluate them on a
+process pool: ``run_sweep(..., workers=N)`` fans points out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while preserving the
+deterministic record order of the serial path.  Callables that cannot
+be pickled (lambdas, closures) and broken pools degrade gracefully to
+the serial path, so ``workers`` is always safe to pass.
 """
 
 from __future__ import annotations
 
+import inspect
 import itertools
+import pickle
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import ExperimentError
 
 #: One result record: the parameter point plus measured values.
 Record = Dict[str, Any]
+
+#: Reserved record key carrying per-point wall time when ``timing=True``.
+POINT_SECONDS_KEY = "point_seconds"
 
 
 @dataclass
@@ -56,10 +80,122 @@ class SweepGrid:
         return size
 
 
+def _call_point(
+    run_point: Callable[..., Mapping[str, Any]], params: Dict[str, Any]
+) -> Tuple[Dict[str, Any], float]:
+    """Evaluate one grid point, returning (measured, wall seconds).
+
+    Module-level so the process pool can pickle it; the measured
+    mapping is materialized to a plain dict for the trip back.
+    """
+    start = time.perf_counter()
+    measured = run_point(**params)
+    return dict(measured), time.perf_counter() - start
+
+
+def _merge_record(
+    params: Dict[str, Any],
+    measured: Mapping[str, Any],
+    seconds: float,
+    timing: bool,
+) -> Record:
+    """Merge parameters and measurements, rejecting key collisions."""
+    collisions = set(params) & set(measured)
+    if timing and POINT_SECONDS_KEY in measured:
+        collisions.add(POINT_SECONDS_KEY)
+    if collisions:
+        raise ExperimentError(
+            f"run_point returned keys that collide with parameters: "
+            f"{sorted(collisions)}"
+        )
+    record: Record = dict(params)
+    record.update(measured)
+    if timing:
+        record[POINT_SECONDS_KEY] = seconds
+    return record
+
+
+def _progress_arity(progress: Callable[..., None]) -> int:
+    """How many positional arguments a progress callback accepts.
+
+    Legacy callbacks take ``(index, total, params)``; current ones also
+    take ``elapsed`` seconds so front ends can print ETA.  Callbacks
+    with ``*args`` (or unreadable signatures) get the full form.
+    """
+    try:
+        signature = inspect.signature(progress)
+    except (TypeError, ValueError):
+        return 4
+    count = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            count += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return 4
+    return min(count, 4)
+
+
+def _is_picklable(run_point: Callable[..., Mapping[str, Any]]) -> bool:
+    """Whether the callable survives the trip to a worker process."""
+    try:
+        pickle.dumps(run_point)
+    except Exception:
+        return False
+    return True
+
+
+def _run_serial(
+    points: List[Dict[str, Any]],
+    run_point: Callable[..., Mapping[str, Any]],
+    notify: Optional[Callable[[int, int, Dict[str, Any], float], None]],
+    timing: bool,
+    started: float,
+) -> List[Record]:
+    records: List[Record] = []
+    total = len(points)
+    for index, params in enumerate(points):
+        if notify is not None:
+            notify(index, total, params, time.perf_counter() - started)
+        measured, seconds = _call_point(run_point, params)
+        records.append(_merge_record(params, measured, seconds, timing))
+    return records
+
+
+def _run_parallel(
+    points: List[Dict[str, Any]],
+    run_point: Callable[..., Mapping[str, Any]],
+    notify: Optional[Callable[[int, int, Dict[str, Any], float], None]],
+    timing: bool,
+    workers: int,
+    started: float,
+) -> List[Record]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    total = len(points)
+    records: List[Record] = []
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        futures = [
+            pool.submit(_call_point, run_point, params) for params in points
+        ]
+        # Collect in submission order: records stay index-aligned with
+        # the serial path no matter which worker finishes first.
+        for index, (params, future) in enumerate(zip(points, futures)):
+            if notify is not None:
+                notify(index, total, params, time.perf_counter() - started)
+            measured, seconds = future.result()
+            records.append(_merge_record(params, measured, seconds, timing))
+    return records
+
+
 def run_sweep(
     grid: SweepGrid,
     run_point: Callable[..., Mapping[str, Any]],
-    progress: Callable[[int, int, Dict[str, Any]], None] = None,
+    progress: Optional[Callable[..., None]] = None,
+    workers: int = 1,
+    timing: bool = False,
 ) -> List[Record]:
     """Evaluate ``run_point(**params)`` at every grid point.
 
@@ -67,25 +203,52 @@ def run_sweep(
     records merge parameters and measurements (measurements win on key
     collisions, which the runner treats as an error to surface bugs).
 
-    ``progress`` is an optional callback ``(index, total, params)``
-    invoked before each point — the CLI uses it for status lines.
+    ``progress`` is an optional callback ``(index, total, params,
+    elapsed)`` invoked before each point is collected — the CLI uses it
+    for status/ETA lines.  Three-argument callbacks (the historical
+    signature, without ``elapsed``) are still supported.
+
+    ``workers > 1`` evaluates points on a process pool.  ``run_point``
+    must then be picklable (a module-level function, or a
+    ``functools.partial`` over one); unpicklable callables, single-point
+    grids, and environments without working process pools all fall back
+    to the serial path, which produces identical records in identical
+    order.
+
+    ``timing=True`` adds each point's wall-clock seconds to its record
+    under :data:`POINT_SECONDS_KEY`.
     """
     points = grid.points()
-    records: List[Record] = []
-    for index, params in enumerate(points):
-        if progress is not None:
-            progress(index, len(points), params)
-        measured = run_point(**params)
-        collisions = set(params) & set(measured)
-        if collisions:
-            raise ExperimentError(
-                f"run_point returned keys that collide with parameters: "
-                f"{sorted(collisions)}"
+    notify: Optional[Callable[[int, int, Dict[str, Any], float], None]]
+    if progress is None:
+        notify = None
+    elif _progress_arity(progress) >= 4:
+        notify = progress
+    else:
+        legacy = progress
+        notify = lambda index, total, params, elapsed: legacy(
+            index, total, params
+        )
+    started = time.perf_counter()
+    if workers > 1 and len(points) > 1 and _is_picklable(run_point):
+        try:
+            return _run_parallel(
+                points, run_point, notify, timing, workers, started
             )
-        record: Record = dict(params)
-        record.update(measured)
-        records.append(record)
-    return records
+        except ExperimentError:
+            raise
+        except Exception as error:
+            # A broken pool (no fork support, resource limits, a worker
+            # killed mid-run) degrades to the serial path; run_point is
+            # pure, so re-evaluating from scratch is safe.  Its own
+            # errors (ReproError subclasses, bad parameters) propagate
+            # above — only infrastructure failures are swallowed.
+            from ..errors import ReproError
+
+            if isinstance(error, ReproError) or isinstance(error, TypeError):
+                raise
+            return _run_serial(points, run_point, notify, timing, started)
+    return _run_serial(points, run_point, notify, timing, started)
 
 
 def pivot(

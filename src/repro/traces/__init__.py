@@ -8,6 +8,8 @@ filtering) that the paper's analyses depend on.
 
 from .adapters import from_csv, from_path_lines, from_strace_log
 from .anonymize import anonymize_trace, enumerate_trace, verify_structure_preserved
+from .artifacts import CACHE_ENV_VAR, artifact_path, cache_dir, load_or_generate
+from .symbols import SymbolTable, intern_sequence
 from .events import EventKind, Trace, TraceEvent
 from .filters import (
     by_client,
@@ -34,10 +36,16 @@ from .stats import (
 from .writer import format_event, write_trace
 
 __all__ = [
+    "CACHE_ENV_VAR",
     "EventKind",
+    "SymbolTable",
     "Trace",
     "TraceEvent",
     "TraceSummary",
+    "artifact_path",
+    "cache_dir",
+    "intern_sequence",
+    "load_or_generate",
     "access_counts",
     "anonymize_trace",
     "by_client",

@@ -1,0 +1,126 @@
+"""On-disk trace artifact cache.
+
+Synthetic trace generation is deterministic but not free — at figure
+scale (60k events × four workloads) it dominates CLI start-up, and every
+sweep worker process regenerates the same traces from scratch.  This
+module persists generated traces in the library's own text format
+(gzipped), keyed by everything that determines their content:
+
+* workload name,
+* event count,
+* seed (or the workload's default),
+* the workload generator version tag
+  (:data:`repro.workloads.synthetic.GENERATOR_VERSION`) — bumping it
+  invalidates every cached artifact, so generator changes can never
+  serve stale traces.
+
+The cache directory resolves, in order, from the ``REPRO_TRACE_CACHE``
+environment variable (set it to ``off``, ``0``, or the empty string to
+disable caching entirely), falling back to ``~/.cache/repro/traces``.
+Corrupt or unreadable artifacts are regenerated and rewritten, never
+trusted.  This complements the in-process ``lru_cache`` in
+``repro.experiments.common``: that one makes repeat replays within a
+process free, this one makes repeat *processes* (CLI runs, benchmark
+invocations, sweep workers) skip generation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .events import Trace
+
+#: Environment variable naming (or disabling) the artifact directory.
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Values of the env var that turn the disk cache off.
+_DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
+
+
+def cache_dir() -> Optional[Path]:
+    """The artifact directory, or None when the cache is disabled."""
+    configured = os.environ.get(CACHE_ENV_VAR)
+    if configured is not None:
+        if configured.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(configured)
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def artifact_path(
+    name: str, events: int, seed: Optional[int], version: int
+) -> Optional[Path]:
+    """Where the artifact for one workload request lives (None = disabled)."""
+    base = cache_dir()
+    if base is None:
+        return None
+    seed_tag = "default" if seed is None else str(seed)
+    return base / f"{name}-e{events}-s{seed_tag}-v{version}.trace.gz"
+
+
+def load_artifact(path: Path, expected_events: int) -> Optional[Trace]:
+    """Read a cached trace, returning None on any problem.
+
+    A cached artifact is rejected (not raised on) when unreadable or
+    when its event count disagrees with the request — both are treated
+    as cache corruption, and the caller regenerates.
+    """
+    from .reader import read_trace
+
+    try:
+        trace = read_trace(path)
+    except Exception:
+        return None
+    if len(trace) != expected_events:
+        return None
+    return trace
+
+
+def store_artifact(path: Path, trace: Trace) -> bool:
+    """Write a trace artifact atomically; returns False on any failure.
+
+    Failure to persist (read-only filesystem, quota) is never an error:
+    the cache is a pure accelerator.
+    """
+    from .writer import write_trace
+
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp.gz", dir=path.parent
+        )
+        os.close(handle)
+        temp_path = Path(temp_name)
+        try:
+            write_trace(trace, temp_path)
+            temp_path.replace(path)
+        finally:
+            if temp_path.exists() and temp_path != path:
+                temp_path.unlink(missing_ok=True)
+    except OSError:
+        return False
+    return True
+
+
+def load_or_generate(
+    name: str, events: int, seed: Optional[int] = None
+) -> Trace:
+    """Return the named workload trace, serving from disk when possible.
+
+    Generation delegates to :func:`repro.workloads.synthetic.make_workload`;
+    a miss populates the cache for the next process.
+    """
+    from ..workloads.synthetic import GENERATOR_VERSION, make_workload
+
+    path = artifact_path(name, events, seed, GENERATOR_VERSION)
+    if path is not None and path.exists():
+        cached = load_artifact(path, events)
+        if cached is not None:
+            return cached
+    trace = make_workload(name, events, seed)
+    if path is not None:
+        store_artifact(path, trace)
+    return trace

@@ -38,6 +38,13 @@ from .zipf import ZipfSampler, geometric
 #: Signature shared by the four workload factories.
 WorkloadFactory = Callable[[int, int], Trace]
 
+#: Version tag of the synthetic generators, embedded in on-disk trace
+#: artifact names (see :mod:`repro.traces.artifacts`).  Bump this on ANY
+#: change that alters generated traces — specs, activities, sessions,
+#: interleaving, or repeat expansion — so stale cached artifacts can
+#: never masquerade as current output.
+GENERATOR_VERSION = 1
+
 #: Shared executables touched across activities (the paper's make/shell
 #: example).  One pool for all workloads so the identifiers are stable.
 SHARED_UTILITIES = (

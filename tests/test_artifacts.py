@@ -1,0 +1,91 @@
+"""Unit tests for the on-disk trace artifact cache."""
+
+from repro.traces.artifacts import (
+    CACHE_ENV_VAR,
+    artifact_path,
+    cache_dir,
+    load_artifact,
+    load_or_generate,
+    store_artifact,
+)
+from repro.workloads.synthetic import GENERATOR_VERSION, make_workload
+
+
+class TestCacheDir:
+    def test_env_var_sets_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        assert cache_dir() == tmp_path
+
+    def test_default_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        path = cache_dir()
+        assert path is not None
+        assert path.parts[-3:] == (".cache", "repro", "traces")
+
+    def test_disable_values(self, monkeypatch):
+        for value in ("", "0", "off", "none", "disabled", "OFF", " off "):
+            monkeypatch.setenv(CACHE_ENV_VAR, value)
+            assert cache_dir() is None, value
+
+    def test_disabled_cache_disables_paths(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "off")
+        assert artifact_path("server", 100, None, GENERATOR_VERSION) is None
+
+
+class TestArtifactPath:
+    def test_key_includes_all_invalidators(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        base = artifact_path("server", 100, None, 1)
+        assert base.name == "server-e100-sdefault-v1.trace.gz"
+        assert artifact_path("users", 100, None, 1) != base
+        assert artifact_path("server", 200, None, 1) != base
+        assert artifact_path("server", 100, 7, 1) != base
+        assert artifact_path("server", 100, None, 2) != base
+
+
+class TestRoundTrip:
+    def test_load_or_generate_populates_and_serves(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        fresh = load_or_generate("server", 400)
+        path = artifact_path("server", 400, None, GENERATOR_VERSION)
+        assert path.exists()
+        cached = load_or_generate("server", 400)
+        assert cached.events == fresh.events
+        assert cached.events == make_workload("server", 400).events
+
+    def test_disabled_cache_still_generates(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "off")
+        trace = load_or_generate("users", 300)
+        assert trace.events == make_workload("users", 300).events
+
+    def test_corrupt_artifact_is_regenerated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        path = artifact_path("write", 200, None, GENERATOR_VERSION)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a gzip trace")
+        trace = load_or_generate("write", 200)
+        assert trace.events == make_workload("write", 200).events
+        # The corrupt file was rewritten with the good artifact.
+        assert load_artifact(path, 200) is not None
+
+    def test_wrong_event_count_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        path = artifact_path("server", 250, None, GENERATOR_VERSION)
+        store_artifact(path, make_workload("server", 100))
+        assert load_artifact(path, 250) is None
+        trace = load_or_generate("server", 250)
+        assert len(trace) == 250
+
+    def test_store_failure_is_soft(self, tmp_path):
+        missing_parent = tmp_path / "file"
+        missing_parent.write_text("occupied")
+        # Parent "directory" is a file: mkdir fails, store returns False.
+        target = missing_parent / "sub" / "x.trace.gz"
+        assert store_artifact(target, make_workload("server", 50)) is False
+
+    def test_version_bump_misses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        old = artifact_path("server", 150, None, GENERATOR_VERSION)
+        store_artifact(old, make_workload("server", 150))
+        bumped = artifact_path("server", 150, None, GENERATOR_VERSION + 1)
+        assert not bumped.exists()

@@ -1,0 +1,148 @@
+"""Equivalence tests for the inlined replay fast paths.
+
+The engine and the aggregating client cache both carry specialized
+replay loops (optionally over interned integer codes).  These tests
+lock in the contract: the fast loops — string-keyed and interned — are
+count-for-count identical to driving the generic per-event ``access``
+path, across all four synthetic workloads.
+"""
+
+import pytest
+
+from repro.core.aggregating_cache import AggregatingClientCache
+from repro.experiments.common import workload_sequence, workload_trace
+from repro.sim.engine import DistributedFileSystem
+
+WORKLOADS = ("server", "users", "write", "workstation")
+EVENTS = 4000
+
+
+def generic_engine_metrics(system, trace):
+    """Reference replay: per-event access() calls, no fast loop."""
+    for event in trace:
+        client = event.client_id or "client00"
+        system.access(client, event.file_id)
+    return system.metrics()
+
+
+def metrics_equal(left, right):
+    return (
+        {k: v for k, v in left.client_stats.items()}
+        == {k: v for k, v in right.client_stats.items()}
+        and left.server_stats == right.server_stats
+        and left.store_fetches == right.store_fetches
+        and left.store_group_fetches == right.store_group_fetches
+        and left.remote_requests == right.remote_requests
+        and left.metadata_entries == right.metadata_entries
+        and left.invalidations == right.invalidations
+    )
+
+
+class TestEngineFastReplay:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_fast_replay_matches_generic(self, workload):
+        trace = workload_trace(workload, EVENTS)
+        config = dict(client_capacity=250, server_capacity=300, group_size=5)
+        reference = generic_engine_metrics(
+            DistributedFileSystem(**config), trace
+        )
+        fast = DistributedFileSystem(**config).replay(trace)
+        assert metrics_equal(fast, reference)
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_interned_replay_identical_metrics(self, workload):
+        trace = workload_trace(workload, EVENTS)
+        config = dict(client_capacity=250, server_capacity=300, group_size=5)
+        reference = DistributedFileSystem(**config).replay(trace)
+        interned = DistributedFileSystem(**config).replay(trace, intern=True)
+        assert metrics_equal(interned, reference)
+
+    def test_no_server_and_uncooperative_configs(self):
+        trace = workload_trace("server", EVENTS)
+        for config in (
+            dict(client_capacity=200, server_capacity=0, group_size=5),
+            dict(client_capacity=200, server_capacity=150, group_size=3,
+                 cooperative=False),
+            dict(client_capacity=200, server_capacity=0, group_size=1,
+                 cooperative=False),
+        ):
+            reference = generic_engine_metrics(
+                DistributedFileSystem(**config), trace
+            )
+            fast = DistributedFileSystem(**config).replay(trace)
+            interned = DistributedFileSystem(**config).replay(trace, intern=True)
+            assert metrics_equal(fast, reference), config
+            assert metrics_equal(interned, reference), config
+
+    def test_string_replay_keeps_string_residency(self):
+        trace = workload_trace("server", EVENTS)
+        system = DistributedFileSystem(client_capacity=50, server_capacity=0)
+        system.replay(trace)
+        cache = next(iter(system.clients.values()))
+        assert all(isinstance(key, str) for key in cache.keys())
+
+    def test_hybrid_policy_takes_generic_path(self):
+        # Non-LRU successor lists are outside the fast loop's contract;
+        # replay must still work (via the generic path) and count sanely.
+        trace = workload_trace("server", EVENTS)
+        system = DistributedFileSystem(
+            client_capacity=100, successor_policy="hybrid"
+        )
+        assert not system._fast_replay_ok()
+        metrics = system.replay(trace)
+        assert metrics.total_client_accesses == EVENTS
+
+    def test_invalidate_on_write_takes_generic_path(self):
+        trace = workload_trace("write", EVENTS)
+        config = dict(client_capacity=100, invalidate_on_write=True)
+        assert not DistributedFileSystem(**config)._fast_replay_ok()
+        reference = DistributedFileSystem(**config)
+        for event in trace:
+            client = event.client_id or "client00"
+            reference.access(client, event.file_id)
+            if event.is_mutation:
+                reference.process_mutation(client, event)
+        fast = DistributedFileSystem(**config).replay(trace)
+        interned = DistributedFileSystem(**config).replay(trace, intern=True)
+        assert metrics_equal(fast, reference.metrics())
+        assert metrics_equal(interned, reference.metrics())
+
+
+class TestAggregatingFastReplay:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_fast_replay_matches_generic(self, workload):
+        sequence = workload_sequence(workload, EVENTS)
+        reference = AggregatingClientCache(capacity=250, group_size=5)
+        for file_id in sequence:
+            reference.access(file_id)
+        fast = AggregatingClientCache(capacity=250, group_size=5)
+        fast.replay(sequence)
+        interned = AggregatingClientCache(capacity=250, group_size=5)
+        interned.replay(sequence, intern=True)
+        for candidate in (fast, interned):
+            assert candidate.stats == reference.stats
+            assert (
+                candidate.fetch_log.__dict__ == reference.fetch_log.__dict__
+            )
+            assert (
+                candidate.tracker.metadata_entries()
+                == reference.tracker.metadata_entries()
+            )
+        # The string-keyed fast path also preserves exact residency.
+        assert list(fast.resident_files()) == list(reference.resident_files())
+
+    def test_subclass_takes_generic_path(self):
+        class Instrumented(AggregatingClientCache):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.installed_batches = 0
+
+            def _install_companions(self, companions):
+                self.installed_batches += 1
+                return super()._install_companions(companions)
+
+        sequence = workload_sequence("server", EVENTS)
+        cache = Instrumented(capacity=100, group_size=5)
+        assert not cache._fast_replay_ok()
+        cache.replay(sequence)
+        assert cache.installed_batches == cache.stats.misses

@@ -1,0 +1,63 @@
+"""Parallel-vs-serial equivalence for the figure sweeps.
+
+The acceptance bar for the parallel sweep engine: fanning grid points
+over worker processes must change nothing — same records, same order,
+same values — on a real figure grid.
+"""
+
+from repro.experiments import run_fig3, run_fig5
+
+MINI_EVENTS = 2000
+MINI_CAPACITIES = (100, 200)
+MINI_GROUP_SIZES = (1, 2, 5)
+
+
+def figure_payload(figure):
+    return (
+        figure.figure_id,
+        figure.title,
+        figure.xlabel,
+        figure.ylabel,
+        figure.notes,
+        tuple((series.label, tuple(series.points)) for series in figure.series),
+    )
+
+
+class TestParallelFigures:
+    def test_fig3_mini_grid_workers_equivalent(self):
+        serial = run_fig3(
+            "server",
+            events=MINI_EVENTS,
+            capacities=MINI_CAPACITIES,
+            group_sizes=MINI_GROUP_SIZES,
+        )
+        parallel = run_fig3(
+            "server",
+            events=MINI_EVENTS,
+            capacities=MINI_CAPACITIES,
+            group_sizes=MINI_GROUP_SIZES,
+            workers=4,
+        )
+        assert figure_payload(parallel) == figure_payload(serial)
+
+    def test_fig5_workers_equivalent(self):
+        serial = run_fig5("server", events=MINI_EVENTS, list_sizes=(1, 2, 4))
+        parallel = run_fig5(
+            "server", events=MINI_EVENTS, list_sizes=(1, 2, 4), workers=3
+        )
+        assert figure_payload(parallel) == figure_payload(serial)
+
+    def test_progress_reports_elapsed(self):
+        seen = []
+        run_fig3(
+            "server",
+            events=MINI_EVENTS,
+            capacities=MINI_CAPACITIES,
+            group_sizes=(1, 2),
+            progress=lambda index, total, params, elapsed: seen.append(
+                (index, total, elapsed)
+            ),
+        )
+        assert [entry[0] for entry in seen] == [0, 1, 2, 3]
+        assert all(entry[1] == 4 for entry in seen)
+        assert all(entry[2] >= 0.0 for entry in seen)

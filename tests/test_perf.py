@@ -1,0 +1,96 @@
+"""Unit tests for the throughput telemetry module."""
+
+import json
+import time
+
+from repro.sim.perf import PerfTimer, PhaseStats, ThroughputReport, measure_replay
+
+
+class TestPhaseStats:
+    def test_events_per_second(self):
+        phase = PhaseStats(name="replay", seconds=2.0, events=1000)
+        assert phase.events_per_second == 500.0
+
+    def test_zero_time_is_zero_rate(self):
+        assert PhaseStats(name="x").events_per_second == 0.0
+
+
+class TestPerfTimer:
+    def test_phase_accumulates_time_and_events(self):
+        timer = PerfTimer()
+        with timer.phase("work", events=10):
+            time.sleep(0.01)
+        with timer.phase("work", events=5):
+            pass
+        report = timer.report()
+        assert report.total_events == 15
+        assert report.total_seconds >= 0.01
+        assert len(report.phases) == 1
+        assert report.phases[0].entries == 2
+
+    def test_add_credits_external_time(self):
+        timer = PerfTimer()
+        timer.add("sweep", 2.0, events=100)
+        timer.add("sweep", 1.0, events=50)
+        report = timer.report()
+        assert report.total_seconds == 3.0
+        assert report.total_events == 150
+        assert report.events_per_second == 50.0
+
+    def test_phases_keep_first_use_order(self):
+        timer = PerfTimer()
+        timer.add("generate", 0.1)
+        timer.add("replay", 0.2)
+        timer.add("generate", 0.1)
+        assert [phase.name for phase in timer.report().phases] == [
+            "generate",
+            "replay",
+        ]
+
+    def test_report_is_a_snapshot(self):
+        timer = PerfTimer()
+        timer.add("work", 1.0, events=1)
+        report = timer.report()
+        timer.add("work", 1.0, events=1)
+        assert report.total_events == 1
+
+
+class TestThroughputReport:
+    def test_as_dict_is_json_ready(self):
+        timer = PerfTimer()
+        timer.add("replay", 2.0, events=100)
+        payload = timer.report().as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["events_per_second"] == 50.0
+        assert payload["phases"]["replay"]["events"] == 100
+
+    def test_as_rows_has_header_and_total(self):
+        timer = PerfTimer()
+        timer.add("a", 1.0, events=10)
+        timer.add("b", 1.0, events=20)
+        rows = timer.report().as_rows()
+        assert rows[0] == ["phase", "seconds", "events", "events/s"]
+        assert rows[-1][0] == "total"
+        assert len(rows) == 4
+
+    def test_summary_mentions_throughput(self):
+        timer = PerfTimer()
+        timer.add("replay", 1.0, events=2500)
+        summary = timer.report().summary()
+        assert "2,500 events" in summary
+        assert "events/s" in summary
+
+    def test_empty_report(self):
+        report = ThroughputReport()
+        assert report.total_seconds == 0.0
+        assert report.events_per_second == 0.0
+        assert report.summary()
+
+
+class TestMeasureReplay:
+    def test_single_phase_report(self):
+        calls = []
+        report = measure_replay(lambda: calls.append(1), events=42)
+        assert calls == [1]
+        assert report.total_events == 42
+        assert [phase.name for phase in report.phases] == ["replay"]

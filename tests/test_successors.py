@@ -149,6 +149,27 @@ class TestSuccessorTracker:
         tracker.observe_sequence(["a", "b", "c"])
         assert set(tracker.tracked_files()) == {"a", "b"}
         assert tracker.has_metadata_for("a")
+
+    def test_probe_checks_retained_successors(self):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "b", "c"])
+        assert tracker.probe("a", "b")
+        assert not tracker.probe("a", "c")
+        assert not tracker.probe("ghost", "b")
+
+    def test_would_miss_is_probe_negation(self):
+        tracker = SuccessorTracker(capacity=4)
+        tracker.observe_sequence(["a", "b"])
+        assert not tracker.would_miss("a", "b")
+        assert tracker.would_miss("a", "z")
+        assert tracker.would_miss("never-seen", "b")
+
+    def test_probe_respects_list_eviction(self):
+        tracker = SuccessorTracker(policy="lru", capacity=1)
+        tracker.observe_sequence(["a", "b", "a", "c"])
+        # Capacity-1 LRU list: c displaced b as a's successor.
+        assert tracker.probe("a", "c")
+        assert tracker.would_miss("a", "b")
         assert not tracker.has_metadata_for("c")
 
     def test_unknown_policy(self):

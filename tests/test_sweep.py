@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import ExperimentError
-from repro.sim.sweep import SweepGrid, pivot, run_sweep
+from repro.sim.sweep import POINT_SECONDS_KEY, SweepGrid, pivot, run_sweep
+
+
+def square_point(n):
+    """Module-level (hence picklable) point runner for parallel tests."""
+    return {"square": n * n}
 
 
 class TestSweepGrid:
@@ -60,6 +65,83 @@ class TestRunSweep:
             progress=lambda i, total, params: seen.append((i, total, params["n"])),
         )
         assert seen == [(0, 2, 5), (1, 2, 6)]
+
+    def test_progress_callback_receives_elapsed(self):
+        seen = []
+        grid = SweepGrid().add_axis("n", [5, 6])
+        run_sweep(
+            grid,
+            lambda n: {"out": n},
+            progress=lambda i, total, params, elapsed: seen.append(
+                (i, total, params["n"], elapsed)
+            ),
+        )
+        assert [entry[:3] for entry in seen] == [(0, 2, 5), (1, 2, 6)]
+        elapsed_values = [entry[3] for entry in seen]
+        assert all(value >= 0.0 for value in elapsed_values)
+        assert elapsed_values[0] <= elapsed_values[1]
+
+    def test_timing_adds_point_seconds(self):
+        grid = SweepGrid().add_axis("n", [1, 2])
+        records = run_sweep(grid, lambda n: {"out": n}, timing=True)
+        for record in records:
+            assert record[POINT_SECONDS_KEY] >= 0.0
+        # Without timing, records carry no timing key (exact-equality
+        # consumers depend on this).
+        untimed = run_sweep(grid, lambda n: {"out": n})
+        assert all(POINT_SECONDS_KEY not in record for record in untimed)
+
+    def test_timing_key_collision_rejected(self):
+        grid = SweepGrid().add_axis("n", [1])
+        with pytest.raises(ExperimentError, match="collide"):
+            run_sweep(
+                grid, lambda n: {POINT_SECONDS_KEY: 1.0}, timing=True
+            )
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        grid = SweepGrid().add_axis("n", [1, 2, 3, 4, 5])
+        serial = run_sweep(grid, square_point)
+        parallel = run_sweep(grid, square_point, workers=4)
+        assert parallel == serial
+        assert [record["n"] for record in parallel] == [1, 2, 3, 4, 5]
+
+    def test_unpicklable_callable_falls_back_to_serial(self):
+        # A lambda cannot cross a process boundary; workers>1 must still
+        # produce the serial result rather than raise.
+        grid = SweepGrid().add_axis("n", [1, 2, 3])
+        records = run_sweep(grid, lambda n: {"square": n * n}, workers=4)
+        assert records == run_sweep(grid, square_point)
+
+    def test_parallel_progress_order(self):
+        seen = []
+        grid = SweepGrid().add_axis("n", [1, 2, 3, 4])
+        run_sweep(
+            grid,
+            square_point,
+            workers=2,
+            progress=lambda i, total, params, elapsed: seen.append((i, params["n"])),
+        )
+        assert seen == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_single_point_grid_stays_serial(self):
+        grid = SweepGrid().add_axis("n", [7])
+        assert run_sweep(grid, square_point, workers=8) == [
+            {"n": 7, "square": 49}
+        ]
+
+    def test_parallel_point_errors_propagate(self):
+        grid = SweepGrid().add_axis("n", [1])
+        with pytest.raises(ExperimentError, match="collide"):
+            run_sweep(
+                SweepGrid().add_axis("n", [1, 2]), square_colliding, workers=2
+            )
+
+
+def square_colliding(n):
+    """Point runner that collides with its own parameter name."""
+    return {"n": n}
 
 
 class TestPivot:
