@@ -1,40 +1,62 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-smoke charts examples report csv all clean
+# Where bench-smoke writes its pytest-benchmark snapshot.  CI overrides
+# this (BENCH_JSON=BENCH_fresh.json) so a fresh run never clobbers the
+# committed BENCH_micro.json baseline it is gated against.
+BENCH_JSON ?= BENCH_micro.json
+PYTHON ?= python
+
+.PHONY: install lint test bench bench-smoke bench-check charts examples report csv all clean
 
 install:
-	python setup.py develop
+	$(PYTHON) setup.py develop
+
+# Ruff is a dev-only dependency (CI installs it); skip gracefully where
+# it is not available so `make all` works in minimal containers.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 # Quick throughput record: microbenchmarks only (FAST_EVENTS traces),
 # with the results -- including events/sec in extra_info -- written to
 # a BENCH_*.json snapshot for before/after comparisons.
 bench-smoke:
-	pytest benchmarks/test_bench_micro.py --benchmark-only \
-		--benchmark-disable-gc --benchmark-json=BENCH_micro.json -q
+	PYTHONPATH=src pytest benchmarks/test_bench_micro.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
+
+# Perf-regression gate: fresh bench-smoke vs. the committed baseline.
+bench-check:
+	$(MAKE) bench-smoke BENCH_JSON=BENCH_fresh.json
+	$(PYTHON) scripts/check_bench.py --baseline BENCH_micro.json \
+		--fresh BENCH_fresh.json
 
 charts:
-	pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s
 
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script"; \
-		python $$script > /dev/null || exit 1; \
+		PYTHONPATH=src python $$script > /dev/null || exit 1; \
 	done; echo "all examples ran"
 
 report:
-	python -m repro report --events 60000 --out results/report.md
+	PYTHONPATH=src $(PYTHON) -m repro report --events 60000 --out results/report.md
 
 csv:
-	python scripts/export_csv.py
+	PYTHONPATH=src $(PYTHON) scripts/export_csv.py
 
-all: test bench examples
+all: lint test bench examples
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	rm -f BENCH_fresh.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,7 +5,6 @@ each printed as a figure/table with its qualitative outcome asserted,
 exactly like the figure benches.
 """
 
-import pytest
 
 from repro.analysis.predictability import profile_sequence
 from repro.experiments import run_cooperation, run_hoarding, run_placement

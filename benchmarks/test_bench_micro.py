@@ -8,8 +8,6 @@ as ops/sec changes.
 
 import random
 
-import pytest
-
 from repro.caching.lfu import LFUCache
 from repro.caching.lru import LRUCache
 from repro.core.aggregating_cache import AggregatingClientCache
@@ -137,7 +135,7 @@ def test_stack_distance_throughput(benchmark):
     def run():
         return miss_curve(KEYS, capacities)
 
-    curve = benchmark(run)
+    benchmark(run)
     benchmark.extra_info["capacities"] = len(capacities)
 
 

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Gate benchmark throughput against the committed baseline.
+
+Compares a fresh pytest-benchmark JSON file (``make bench-smoke
+BENCH_JSON=BENCH_fresh.json``) against the committed baseline
+(``BENCH_micro.json``) and exits non-zero when any benchmark's
+events-per-second throughput regresses by more than the threshold
+(default 25%).
+
+Throughput comes from each benchmark's ``extra_info.events_per_second``
+when the suite recorded one (the system replay benches do), otherwise
+from ``1 / stats.median`` — both monotone in "work per second", so one
+threshold covers both.  Benchmarks present on only one side are
+reported as warnings, not failures: renames and additions must not
+break CI, only genuine slowdowns should.
+
+Stdlib-only, so the gate runs anywhere the test suite runs::
+
+    python scripts/check_bench.py --baseline BENCH_micro.json \
+        --fresh BENCH_fresh.json [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class BenchCheckError(Exception):
+    """A baseline or fresh file that cannot be interpreted."""
+
+
+def load_benchmarks(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Map benchmark name -> benchmark record from a pytest-benchmark JSON."""
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchCheckError(f"benchmark file not found: {path}")
+    except json.JSONDecodeError as error:
+        raise BenchCheckError(f"invalid JSON in {path}: {error}")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise BenchCheckError(f"{path} has no benchmarks")
+    table: Dict[str, Dict[str, Any]] = {}
+    for bench in benchmarks:
+        name = bench.get("name")
+        if name:
+            table[name] = bench
+    return table
+
+
+def events_per_second(bench: Dict[str, Any]) -> Optional[float]:
+    """A benchmark's throughput figure, or None when unmeasurable.
+
+    Prefers the suite's own ``extra_info.events_per_second`` (real
+    events processed per second); falls back to ``1 / stats.median``
+    (iterations per second), which ranks identically under a ratio
+    threshold.
+    """
+    extra = bench.get("extra_info") or {}
+    eps = extra.get("events_per_second")
+    if isinstance(eps, (int, float)) and eps > 0:
+        return float(eps)
+    stats = bench.get("stats") or {}
+    median = stats.get("median")
+    if isinstance(median, (int, float)) and median > 0:
+        return 1.0 / median
+    return None
+
+
+def compare(
+    baseline: Dict[str, Dict[str, Any]],
+    fresh: Dict[str, Dict[str, Any]],
+    threshold: float = 0.25,
+) -> Tuple[List[Dict[str, Any]], List[str], List[str]]:
+    """Compare throughput per benchmark name.
+
+    Returns ``(comparisons, missing, extra)``: one comparison record per
+    common name (with ``regressed`` set when fresh throughput fell below
+    ``baseline * (1 - threshold)``), names only in the baseline, and
+    names only in the fresh run.
+    """
+    comparisons: List[Dict[str, Any]] = []
+    missing = sorted(set(baseline) - set(fresh))
+    extra = sorted(set(fresh) - set(baseline))
+    for name in sorted(set(baseline) & set(fresh)):
+        base_eps = events_per_second(baseline[name])
+        fresh_eps = events_per_second(fresh[name])
+        if base_eps is None or fresh_eps is None:
+            continue
+        ratio = fresh_eps / base_eps
+        comparisons.append(
+            {
+                "name": name,
+                "baseline_eps": base_eps,
+                "fresh_eps": fresh_eps,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - threshold,
+            }
+        )
+    return comparisons, missing, extra
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark throughput regresses vs. the baseline"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_micro.json"),
+        help="committed baseline JSON (default: BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly produced benchmark JSON to gate",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        fresh = load_benchmarks(args.fresh)
+    except BenchCheckError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    comparisons, missing, extra = compare(baseline, fresh, args.threshold)
+    for name in missing:
+        print(f"warning: benchmark only in baseline (skipped): {name}")
+    for name in extra:
+        print(f"warning: benchmark only in fresh run (skipped): {name}")
+    if not comparisons:
+        print("error: no common benchmarks to compare", file=sys.stderr)
+        return 1
+
+    regressions = 0
+    for row in comparisons:
+        marker = "REGRESSION" if row["regressed"] else "ok"
+        print(
+            f"{marker:>10}  {row['name']}: "
+            f"{row['baseline_eps']:,.0f} -> {row['fresh_eps']:,.0f} eps "
+            f"({row['ratio']:.2%} of baseline)"
+        )
+        if row["regressed"]:
+            regressions += 1
+    if regressions:
+        print(
+            f"error: {regressions} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate passed: {len(comparisons)} benchmark(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
-from .series import FigureData, Series
+from .series import FigureData
 
 #: Glyph cycle assigned to series in order.
 GLYPHS = "*o+x#@%&"

@@ -19,7 +19,7 @@ tooling in terminal form:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.entropy import successor_entropy, successor_entropy_breakdown
 from ..errors import AnalysisError

@@ -10,10 +10,10 @@ min/mean/max band, and check a claimed ordering in every single draw.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..errors import AnalysisError
-from .series import FigureData, Series
+from .series import FigureData
 
 #: A figure builder parameterized only by seed.
 SeededBuilder = Callable[[int], FigureData]

@@ -16,8 +16,8 @@ stays honest: only demand accesses touch the statistics.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
 
 from ..errors import CacheConfigurationError
 

@@ -21,7 +21,7 @@ becomes LIR and the bottom LIR block demotes to HIR.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterator
 
 from .base import Cache
 

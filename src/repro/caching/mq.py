@@ -22,9 +22,9 @@ Algorithm sketch (following the ATC'01 paper):
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from .base import Cache
 

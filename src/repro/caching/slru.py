@@ -14,7 +14,7 @@ cache comparisons.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterator
 
 from .base import Cache
 

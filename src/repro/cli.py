@@ -11,6 +11,7 @@ is usable standalone::
     repro placement | hoard | cooperation # Section 6 future-work studies
     repro attribution | adaptation | servercap | compare
     repro profile --workload users        # predictability tooling
+    repro metrics --workload server       # observability snapshot (JSONL)
     repro graph --workload server         # relationship-graph inspection
     repro workloads [name]                # the synthetic workload catalog
     repro report --out report.md          # regenerate everything
@@ -27,9 +28,9 @@ from typing import Callable, List, Optional
 
 from .analysis.ascii_chart import render_figure
 from .analysis.export import figure_to_csv, rows_to_markdown
+from .analysis.predictability import profile_sequence
 from .analysis.series import FigureData
 from .errors import ReproError
-from .analysis.predictability import profile_sequence
 from .experiments import (
     DEFAULT_EVENTS,
     run_adaptation,
@@ -277,6 +278,69 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Replay one workload with metric collection on; report + export.
+
+    This is the observability layer end-to-end: the replay runs inside
+    :func:`repro.obs.collecting`, the hot components record into the
+    registry, and the snapshot is printed as tables (and written as
+    JSONL with ``--out``).
+    """
+    from .obs import collecting, write_jsonl
+    from .sim.engine import DistributedFileSystem
+
+    trace = make_workload(args.workload, args.events, args.seed)
+    with collecting() as registry:
+        system = DistributedFileSystem(
+            client_capacity=args.client_capacity,
+            server_capacity=args.server_capacity,
+            group_size=args.group_size,
+        )
+        if args.generic:
+            system.use_fast_replay = False
+        started = time.perf_counter()
+        system.replay(trace)
+        seconds = time.perf_counter() - started
+
+    snapshot = registry.snapshot()
+    rows = [["counter / gauge", "value"]]
+    for name, value in snapshot["counters"].items():
+        rows.append([name, str(value)])
+    for name, value in snapshot["gauges"].items():
+        rows.append([name, f"{value:g}"])
+    print(rows_to_markdown(rows))
+    hist_rows = [["histogram", "count", "mean", "min", "max"]]
+    for name, summary in snapshot["histograms"].items():
+        hist_rows.append(
+            [
+                name,
+                str(summary["count"]),
+                f"{summary['mean']:,.1f}",
+                f"{summary['min']:,}" if summary["min"] is not None else "-",
+                f"{summary['max']:,}" if summary["max"] is not None else "-",
+            ]
+        )
+    print()
+    print(rows_to_markdown(hist_rows))
+
+    timer = PerfTimer()
+    timer.add("replay", seconds, len(trace))
+    print(f"\nthroughput: {timer.report().summary()}")
+    if args.out is not None:
+        lines = write_jsonl(
+            registry,
+            args.out,
+            meta={
+                "workload": args.workload,
+                "events": args.events,
+                "seed": args.seed,
+                "group_size": args.group_size,
+            },
+        )
+        print(f"wrote {lines} JSONL records to {args.out}")
+    return 0
+
+
 def _cmd_adaptation(args: argparse.Namespace) -> int:
     figure = run_adaptation(workload=args.workload, events=args.events, seed=args.seed)
     _emit_figure(figure, args)
@@ -329,7 +393,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    from .workloads.catalog import CATALOG, catalog_rows
+    from .workloads.catalog import catalog_rows
 
     if args.name:
         from .workloads.catalog import describe_workload
@@ -491,6 +555,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=2000, help="timeline window (events)"
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="replay a workload with metric collection on; print/export a snapshot",
+    )
+    metrics.add_argument(
+        "--workload",
+        default="server",
+        choices=sorted(WORKLOADS),
+        help="workload to replay (default: server)",
+    )
+    metrics.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENTS,
+        help=f"trace length in accesses (default: {DEFAULT_EVENTS})",
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    metrics.add_argument(
+        "--out", type=Path, default=None, help="write the snapshot as JSONL"
+    )
+    metrics.add_argument(
+        "--group-size", type=int, default=5, help="aggregating group size g"
+    )
+    metrics.add_argument(
+        "--client-capacity", type=int, default=250, help="client cache capacity"
+    )
+    metrics.add_argument(
+        "--server-capacity", type=int, default=300, help="server cache capacity"
+    )
+    metrics.add_argument(
+        "--generic",
+        action="store_true",
+        help="force the generic per-event replay path (metrics are identical)",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     adaptation = subparsers.add_parser(
         "adaptation", help="hit rate across an abrupt workload shift"

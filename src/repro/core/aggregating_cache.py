@@ -21,14 +21,15 @@ Two deployments of the same idea:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 from ..caching.base import Cache, CacheStats
 from ..caching.lru import LRUCache
-from ..errors import CacheConfigurationError
+from ..obs import registry as _obs
 from ..traces.symbols import intern_sequence
-from .grouping import Group, GroupBuilder, build_group_fast
+from .grouping import GroupBuilder, build_group_fast
 from .successors import LRUSuccessorList, SuccessorTracker
 
 
@@ -90,6 +91,10 @@ class AggregatingClientCache:
         self.builder = GroupBuilder(self.tracker, group_size)
         self.group_size = group_size
         self.fetch_log = GroupFetchLog()
+        #: Escape hatch for tests and A/B comparisons: when False,
+        #: :meth:`replay` always takes the generic per-event path even
+        #: if the configuration qualifies for the fast loop.
+        self.use_fast_replay = True
 
     @property
     def capacity(self) -> int:
@@ -124,6 +129,10 @@ class AggregatingClientCache:
             return True
         # Demand miss: one group request to the server.
         group = self.builder.build(file_id)
+        if _obs.ENABLED:
+            _obs.get_registry().histogram("client_cache.group_fetch.size").observe(
+                len(group)
+            )
         self.fetch_log.group_fetches += 1
         self.fetch_log.files_retrieved += 1  # the demanded file itself
         # The demanded file was installed at the MRU head by access();
@@ -139,6 +148,55 @@ class AggregatingClientCache:
         """Place predicted companions; subclass hook for instrumentation."""
         return self._cache.install_group_at_tail(companions)
 
+    def _metrics_baseline(self) -> Tuple[int, ...]:
+        """Pre-replay totals used to record per-replay metric deltas."""
+        stats = self._cache.stats
+        log = self.fetch_log
+        return (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.installs,
+            log.group_fetches,
+            log.files_retrieved,
+            log.predicted_installed,
+        )
+
+    def _record_replay_metrics(
+        self, registry, baseline: Tuple[int, ...], transitions: Optional[int]
+    ) -> None:
+        """Credit this replay's deltas to the registry (collection is on).
+
+        Both replay paths report through here, so the recorded counters
+        are identical whichever loop ran; ``transitions`` is only passed
+        by the fast loop (the generic path counts transitions inside
+        :meth:`SuccessorTracker.observe_transition`).
+        """
+        stats = self._cache.stats
+        log = self.fetch_log
+        current = (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.installs,
+            log.group_fetches,
+            log.files_retrieved,
+            log.predicted_installed,
+        )
+        names = (
+            "client_cache.hits",
+            "client_cache.misses",
+            "client_cache.evictions",
+            "client_cache.installs",
+            "client_cache.group_fetches",
+            "client_cache.files_retrieved",
+            "client_cache.predicted_installed",
+        )
+        for name, before, after in zip(names, baseline, current):
+            registry.counter(name).inc(after - before)
+        if transitions:
+            registry.counter("successors.transitions").inc(transitions)
+
     def _fast_replay_ok(self) -> bool:
         """Whether the inlined replay loop matches this configuration.
 
@@ -148,7 +206,8 @@ class AggregatingClientCache:
         per-event path.
         """
         return (
-            type(self) is AggregatingClientCache
+            self.use_fast_replay
+            and type(self) is AggregatingClientCache
             and type(self.tracker) is SuccessorTracker
             and self.tracker.policy == "lru"
             and type(self.builder) is GroupBuilder
@@ -174,6 +233,19 @@ class AggregatingClientCache:
             if prev is not None:
                 prev = table.intern(prev)
             sequence = codes
+        # Metrics: read the flag once, keep the per-event loop untouched,
+        # and record batched deltas after the loop.  Only the per-miss
+        # group-size observation happens inline (misses are the rare
+        # case, and only when collection is enabled).
+        record = _obs.ENABLED
+        observe_group = observe_chain = None
+        if record:
+            registry = _obs.get_registry()
+            observe_group = registry.histogram("client_cache.group_fetch.size").observe
+            observe_chain = registry.histogram("grouping.chain.length").observe
+            baseline = self._metrics_baseline()
+            prev_was_none = prev is None
+            started = time.perf_counter_ns()
         cache = self._cache
         order = cache._order
         listener = cache.evict_listener
@@ -212,6 +284,9 @@ class AggregatingClientCache:
                 evictions += 1
             order[file_id] = None
             members = build_group_fast(lists_get, group_size, file_id)
+            if observe_group is not None:
+                observe_group(len(members))
+                observe_chain(len(members))
             group_fetches += 1
             installed = install(order, members[1:], stats)
             files_retrieved += 1 + installed
@@ -225,6 +300,13 @@ class AggregatingClientCache:
         log.group_fetches += group_fetches
         log.files_retrieved += files_retrieved
         log.predicted_installed += predicted_installed
+        if record:
+            events = len(sequence)
+            transitions = events - 1 if (prev_was_none and events) else events
+            self._record_replay_metrics(registry, baseline, transitions)
+            registry.histogram("client_cache.replay.fast.ns").observe(
+                time.perf_counter_ns() - started
+            )
         return stats.snapshot()
 
     def replay(self, sequence: Sequence[str], intern: bool = False) -> CacheStats:
@@ -242,9 +324,20 @@ class AggregatingClientCache:
             return self._replay_fast(sequence, intern)
         if intern:
             sequence, _table = intern_sequence(sequence)
+        record = _obs.ENABLED
+        if record:
+            registry = _obs.get_registry()
+            baseline = self._metrics_baseline()
+            started = time.perf_counter_ns()
         access = self.access
         for file_id in sequence:
             access(file_id)
+        if record:
+            # Transitions were already counted per event by the tracker.
+            self._record_replay_metrics(registry, baseline, None)
+            registry.histogram("client_cache.replay.generic.ns").observe(
+                time.perf_counter_ns() - started
+            )
         return self._cache.stats.snapshot()
 
     def __contains__(self, file_id: str) -> bool:
@@ -305,8 +398,14 @@ class AggregatingServerCache(Cache):
         if self.observe_requests:
             self.tracker.observe(key)
         if self._cache.access(key):
+            if _obs.ENABLED:
+                _obs.get_registry().counter("server_cache.hits").inc()
             return True
         group = self.builder.build(key)
+        if _obs.ENABLED:
+            registry = _obs.get_registry()
+            registry.counter("server_cache.misses").inc()
+            registry.histogram("server_cache.group_fetch.size").observe(len(group))
         self.fetch_log.group_fetches += 1
         self.fetch_log.files_retrieved += 1
         installed = self._cache.install_group_at_tail(group.predicted)

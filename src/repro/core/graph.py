@@ -15,8 +15,8 @@ online; the aggregating cache itself never materializes it.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple  # noqa: F401
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple  # noqa: F401
 
 
 @dataclass(frozen=True)

@@ -23,10 +23,12 @@ top of a live :class:`~repro.core.successors.SuccessorTracker`:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
 from ..errors import CacheConfigurationError
+from ..obs import registry as _obs
 from .successors import SuccessorTracker
 
 
@@ -82,6 +84,8 @@ class GroupBuilder:
         target_size = self.group_size if size is None else size
         if target_size <= 0:
             raise CacheConfigurationError(f"group size must be positive, got {target_size}")
+        record = _obs.ENABLED
+        started = time.perf_counter_ns() if record else 0
         members: List[str] = [demanded]
         used: Set[str] = {demanded}
         frontier = demanded
@@ -94,7 +98,18 @@ class GroupBuilder:
             members.append(candidate)
             used.add(candidate)
             frontier = candidate
+        if record:
+            self._record_build(started, len(members))
         return Group(members=tuple(members))
+
+    @staticmethod
+    def _record_build(started_ns: int, size: int) -> None:
+        """Record one build's latency and size (collection is enabled)."""
+        registry = _obs.get_registry()
+        registry.histogram("grouping.build.ns").observe(
+            time.perf_counter_ns() - started_ns
+        )
+        registry.histogram("grouping.chain.length").observe(size)
 
     def _chain_next(self, frontier: str, used: Set[str]) -> Optional[str]:
         """Most likely successor of ``frontier`` not already grouped."""
@@ -221,6 +236,8 @@ class AdaptiveGroupBuilder(GroupBuilder):
         limit = self.max_size if size is None else size
         if limit <= 0:
             raise CacheConfigurationError(f"group size must be positive, got {limit}")
+        record = _obs.ENABLED
+        started = time.perf_counter_ns() if record else 0
         members: List[str] = [demanded]
         used: Set[str] = {demanded}
         frontier = demanded
@@ -234,4 +251,6 @@ class AdaptiveGroupBuilder(GroupBuilder):
             members.append(candidate)
             used.add(candidate)
             frontier = candidate
+        if record:
+            self._record_build(started, len(members))
         return Group(members=tuple(members))

@@ -20,7 +20,7 @@ both designs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..traces.events import Trace
 from .successors import SuccessorTracker

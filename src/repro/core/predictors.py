@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import abc
 from collections import Counter, defaultdict, deque
-from typing import Deque, Dict, Iterator, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
-from ..caching.base import Cache, CacheStats
+from ..caching.base import CacheStats
 from ..caching.lru import LRUCache
 from ..errors import CacheConfigurationError
 

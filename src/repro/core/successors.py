@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import CacheConfigurationError
+from ..obs import registry as _obs
 
 #: Sentinel capacity meaning "unbounded" (used by the oracle policy).
 UNBOUNDED = 0
@@ -365,6 +366,8 @@ class SuccessorTracker:
             slist = make_successor_list(self.policy, self.capacity)
             self._lists[predecessor] = slist
         slist.observe(successor)
+        if _obs.ENABLED:
+            _obs.get_registry().counter("successors.transitions").inc()
 
     def observe_sequence(self, sequence: Iterable[str]) -> None:
         """Feed a whole access sequence through :meth:`observe`."""
@@ -391,7 +394,14 @@ class SuccessorTracker:
         online evaluations need (Figure 5).
         """
         slist = self._lists.get(predecessor)
-        return slist is not None and successor in slist
+        retained = slist is not None and successor in slist
+        if _obs.ENABLED:
+            registry = _obs.get_registry()
+            if retained:
+                registry.counter("successors.probe.hits").inc()
+            else:
+                registry.counter("successors.probe.misses").inc()
+        return retained
 
     def would_miss(self, predecessor: str, successor: str) -> bool:
         """Whether predicting ``predecessor``'s successors right now would

@@ -9,7 +9,7 @@ sweeps), default sizes, and the parameter ranges the paper plots.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from ..errors import ExperimentError
 from ..traces.artifacts import load_or_generate

@@ -15,10 +15,9 @@ each regenerated here from the same machinery as the figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
-from ..analysis.series import FigureData
 from .common import DEFAULT_EVENTS, FIG4_SERVER_CAPACITY
 from .fig3 import fetch_reduction, run_fig3
 from .fig4 import improvement_over_lru, run_fig4

@@ -1,0 +1,55 @@
+"""repro.obs — lightweight observability for the replay machinery.
+
+A process-local :class:`~repro.obs.registry.MetricsRegistry` of
+counters, gauges, and histograms (with ns-precision timers), a
+module-level enable flag that keeps disabled runs allocation-free, and
+JSONL snapshot export.  The hot components — the aggregating caches,
+successor tracker, group builder, replay engine, and sweep runner —
+are instrumented against this package; the ``repro metrics`` CLI
+subcommand replays a workload with collection on and exports the
+snapshot.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.collecting() as registry:
+        system.replay(trace)
+    obs.write_jsonl(registry, "results/metrics.jsonl")
+"""
+
+from .export import SCHEMA, dump_jsonl, load_jsonl, snapshot_records, write_jsonl
+from .registry import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+    collecting,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    set_registry,
+)
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityError",
+    "collecting",
+    "disable",
+    "dump_jsonl",
+    "enable",
+    "enabled",
+    "get_registry",
+    "load_jsonl",
+    "set_registry",
+    "snapshot_records",
+    "write_jsonl",
+]

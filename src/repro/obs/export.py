@@ -1,0 +1,129 @@
+"""JSONL snapshot export for :mod:`repro.obs.registry`.
+
+One metric per line keeps snapshots streamable and diff-friendly: a
+monitoring pipeline (or plain ``grep``) can follow a growing file
+without parsing a whole document, and successive snapshots of the same
+run concatenate naturally.  The first line of every snapshot is a
+``meta`` record carrying the schema tag, so readers can reject foreign
+files early.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Union
+
+from .registry import MetricsRegistry, ObservabilityError
+
+#: Schema tag stamped on (and demanded from) every snapshot.
+SCHEMA = "repro.obs/1"
+
+Pathish = Union[str, Path]
+
+
+def snapshot_records(
+    registry: MetricsRegistry, meta: Union[Dict[str, Any], None] = None
+) -> List[Dict[str, Any]]:
+    """The registry as a list of JSON-ready records, meta line first."""
+    header: Dict[str, Any] = {"kind": "meta", "schema": SCHEMA}
+    if meta:
+        header.update(meta)
+    records: List[Dict[str, Any]] = [header]
+    for name in sorted(registry.counters):
+        records.append(registry.counters[name].as_dict())
+    for name in sorted(registry.gauges):
+        records.append(registry.gauges[name].as_dict())
+    for name in sorted(registry.histograms):
+        records.append(registry.histograms[name].as_dict())
+    return records
+
+
+def dump_jsonl(
+    registry: MetricsRegistry,
+    stream: IO[str],
+    meta: Union[Dict[str, Any], None] = None,
+) -> int:
+    """Write one snapshot to an open text stream; returns lines written."""
+    records = snapshot_records(registry, meta)
+    for record in records:
+        stream.write(json.dumps(record, sort_keys=True))
+        stream.write("\n")
+    return len(records)
+
+
+def write_jsonl(
+    registry: MetricsRegistry,
+    path: Pathish,
+    meta: Union[Dict[str, Any], None] = None,
+) -> int:
+    """Write one snapshot to ``path``; returns lines written."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as stream:
+        return dump_jsonl(registry, stream, meta)
+
+
+def _parse_lines(lines: Iterable[str], source: str) -> Dict[str, Any]:
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    meta: Dict[str, Any] = {}
+    saw_meta = False
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"{source}:{number}: not valid JSON ({error})"
+            )
+        kind = record.get("kind")
+        if kind == "meta":
+            if record.get("schema") != SCHEMA:
+                raise ObservabilityError(
+                    f"{source}:{number}: unsupported schema "
+                    f"{record.get('schema')!r} (expected {SCHEMA})"
+                )
+            saw_meta = True
+            meta = {
+                key: value
+                for key, value in record.items()
+                if key not in ("kind", "schema")
+            }
+        elif kind == "counter":
+            counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            gauges[record["name"]] = record["value"]
+        elif kind == "histogram":
+            histograms[record["name"]] = {
+                key: value for key, value in record.items() if key != "kind" and key != "name"
+            }
+        else:
+            raise ObservabilityError(
+                f"{source}:{number}: unknown record kind {kind!r}"
+            )
+    if not saw_meta:
+        raise ObservabilityError(f"{source}: no {SCHEMA} meta line found")
+    return {
+        "meta": meta,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def load_jsonl(path: Pathish) -> Dict[str, Any]:
+    """Read a snapshot back into plain dicts.
+
+    Returns ``{"meta": ..., "counters": {name: value}, "gauges": ...,
+    "histograms": {name: summary}}`` — the same shapes
+    :meth:`MetricsRegistry.snapshot` produces (plus meta), so a
+    write/load round trip is directly comparable.
+    """
+    source = str(path)
+    with Path(path).open("r", encoding="utf-8") as stream:
+        return _parse_lines(stream, source)

@@ -22,8 +22,8 @@ the *nearest* replica, and the space overhead is accounted.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..errors import SimulationError
 

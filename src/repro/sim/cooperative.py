@@ -18,8 +18,8 @@ much of each workload's miss stream each tier captures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from ..caching.lru import LRUCache
 from ..core.grouping import GroupBuilder

@@ -24,7 +24,7 @@ and :func:`price_replay` compares priced configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.aggregating_cache import AggregatingClientCache
 from ..errors import SimulationError

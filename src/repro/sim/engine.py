@@ -27,14 +27,16 @@ policies are key-agnostic, so every counter is unchanged).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..caching.base import Cache, CacheStats
+from ..caching.base import CacheStats
 from ..caching.lru import LRUCache
 from ..core.grouping import GroupBuilder, build_group_fast
 from ..core.successors import LRUSuccessorList, SuccessorTracker
 from ..errors import SimulationError
+from ..obs import registry as _obs
 from ..traces.events import EventKind, Trace
 from ..traces.symbols import SymbolTable, intern_sequence
 
@@ -146,6 +148,10 @@ class DistributedFileSystem:
         self.invalidate_on_write = invalidate_on_write
         self.invalidations = 0
         self._server_stats = CacheStats()
+        #: Escape hatch for tests and A/B comparisons: when False,
+        #: :meth:`replay` always takes the generic per-event path even
+        #: if the configuration qualifies for the fast loop.
+        self.use_fast_replay = True
 
     def _client_cache(self, client_id: str) -> LRUCache:
         cache = self.clients.get(client_id)
@@ -167,6 +173,10 @@ class DistributedFileSystem:
         if not self.cooperative:
             self.tracker.observe(file_id)
         group = self.builder.build(file_id)
+        if _obs.ENABLED:
+            _obs.get_registry().histogram("engine.group_fetch.size").observe(
+                len(group)
+            )
 
         # Serve each group member from the server cache when resident,
         # otherwise stage it from the store (and cache it server-side).
@@ -224,6 +234,8 @@ class DistributedFileSystem:
         the stock group builder, and no write invalidation; anything
         else (subclasses, alternative policies) takes the generic path.
         """
+        if not self.use_fast_replay:
+            return False
         if self.invalidate_on_write:
             return False
         if type(self.tracker) is not SuccessorTracker or self.tracker.policy != "lru":
@@ -244,6 +256,65 @@ class DistributedFileSystem:
         ):
             return False
         return True
+
+    def _metrics_baseline(self) -> Tuple:
+        """Pre-replay totals used to record per-replay metric deltas."""
+        return (
+            {
+                client_id: (cache.stats.hits, cache.stats.misses)
+                for client_id, cache in self.clients.items()
+            },
+            (self._server_stats.hits, self._server_stats.misses),
+            self.store.fetches,
+            self.remote_requests,
+            self.invalidations,
+        )
+
+    def _record_replay_metrics(
+        self, registry, baseline: Tuple, transitions: Optional[int]
+    ) -> None:
+        """Credit this replay's deltas to the registry (collection is on).
+
+        Both replay paths report through here, so the recorded counters
+        are identical whichever loop ran; ``transitions`` is only passed
+        by the fast loop (the generic path counts transitions inside
+        :meth:`SuccessorTracker.observe_transition`).
+        """
+        clients_before, server_before, store_before, remote_before, inv_before = (
+            baseline
+        )
+        total_hits = total_misses = 0
+        for client_id, cache in self.clients.items():
+            hits_before, misses_before = clients_before.get(client_id, (0, 0))
+            hits = cache.stats.hits - hits_before
+            misses = cache.stats.misses - misses_before
+            total_hits += hits
+            total_misses += misses
+            registry.counter(f"engine.client.{client_id}.hits").inc(hits)
+            registry.counter(f"engine.client.{client_id}.misses").inc(misses)
+        registry.counter("engine.client.hits").inc(total_hits)
+        registry.counter("engine.client.misses").inc(total_misses)
+        registry.counter("engine.server.hits").inc(
+            self._server_stats.hits - server_before[0]
+        )
+        registry.counter("engine.server.misses").inc(
+            self._server_stats.misses - server_before[1]
+        )
+        registry.counter("engine.store.fetches").inc(
+            self.store.fetches - store_before
+        )
+        registry.counter("engine.remote_requests").inc(
+            self.remote_requests - remote_before
+        )
+        registry.counter("engine.invalidations").inc(
+            self.invalidations - inv_before
+        )
+        registry.gauge("engine.clients").set(len(self.clients))
+        registry.gauge("engine.metadata.entries").set(
+            self.tracker.metadata_entries()
+        )
+        if transitions:
+            registry.counter("successors.transitions").inc(transitions)
 
     def _replay_fast(self, trace: Trace, intern: bool) -> SystemMetrics:
         """Inlined replay loop for the common LRU configuration.
@@ -280,6 +351,20 @@ class DistributedFileSystem:
             server_capacity = server.capacity
             server_listener = server.evict_listener
             server_install = server.install_group_at_tail_fast
+
+        # Metrics: read the flag once, keep the per-event loop untouched,
+        # and record batched deltas after the loop.  Only the per-miss
+        # group-size observation happens inline (and only when
+        # collection is enabled).
+        record = _obs.ENABLED
+        observe_group = observe_chain = None
+        if record:
+            registry = _obs.get_registry()
+            observe_group = registry.histogram("engine.group_fetch.size").observe
+            observe_chain = registry.histogram("grouping.chain.length").observe
+            baseline = self._metrics_baseline()
+            prev_was_none = prev is None
+            started = time.perf_counter_ns()
 
         remote_requests = 0
         store_fetches = 0
@@ -350,6 +435,9 @@ class DistributedFileSystem:
                 prev = file_id
 
             members = build_group_fast(lists_get, group_size, file_id)
+            if observe_group is not None:
+                observe_group(len(members))
+                observe_chain(len(members))
             companions = members[1:]
             if server is not None:
                 if file_id in server_order:
@@ -380,6 +468,22 @@ class DistributedFileSystem:
             tracker._previous = prev
         self.remote_requests += remote_requests
         self.store.fetches += store_fetches
+        if record:
+            if cooperative:
+                transition_sites = len(events)
+            else:
+                # Non-cooperative: the tracker observes only the miss
+                # stream, so each remote request is one transition site.
+                transition_sites = remote_requests
+            transitions = (
+                transition_sites - 1
+                if (prev_was_none and transition_sites)
+                else transition_sites
+            )
+            self._record_replay_metrics(registry, baseline, transitions)
+            registry.histogram("engine.replay.fast.ns").observe(
+                time.perf_counter_ns() - started
+            )
         return self.metrics()
 
     def replay(self, trace: Trace, intern: bool = False) -> SystemMetrics:
@@ -398,6 +502,11 @@ class DistributedFileSystem:
         """
         if self._fast_replay_ok():
             return self._replay_fast(trace, intern)
+        record = _obs.ENABLED
+        if record:
+            registry = _obs.get_registry()
+            baseline = self._metrics_baseline()
+            started = time.perf_counter_ns()
         if intern:
             table = SymbolTable()
             interned = table.intern
@@ -407,12 +516,18 @@ class DistributedFileSystem:
                 self.access(client, file_id)
                 if self.invalidate_on_write and event.is_mutation:
                     self._apply_mutation(client, file_id, event.kind)
-            return self.metrics()
-        for event in trace:
-            client = event.client_id or "client00"
-            self.access(client, event.file_id)
-            if self.invalidate_on_write and event.is_mutation:
-                self.process_mutation(client, event)
+        else:
+            for event in trace:
+                client = event.client_id or "client00"
+                self.access(client, event.file_id)
+                if self.invalidate_on_write and event.is_mutation:
+                    self.process_mutation(client, event)
+        if record:
+            # Transitions were already counted per event by the tracker.
+            self._record_replay_metrics(registry, baseline, None)
+            registry.histogram("engine.replay.generic.ns").observe(
+                time.perf_counter_ns() - started
+            )
         return self.metrics()
 
     def metrics(self) -> SystemMetrics:

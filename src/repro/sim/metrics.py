@@ -8,10 +8,9 @@ failure-injection tests and the extension benches rely on these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
 
-from ..caching.base import CacheStats
 from ..errors import SimulationError
 
 

@@ -36,6 +36,7 @@ from typing import (
 )
 
 from ..errors import ExperimentError
+from ..obs import registry as _obs
 
 #: One result record: the parameter point plus measured values.
 Record = Dict[str, Any]
@@ -156,10 +157,18 @@ def _run_serial(
 ) -> List[Record]:
     records: List[Record] = []
     total = len(points)
+    record_metrics = _obs.ENABLED
+    if record_metrics:
+        registry = _obs.get_registry()
+        observe_point = registry.histogram("sweep.point.ns").observe
+        point_counter = registry.counter("sweep.points")
     for index, params in enumerate(points):
         if notify is not None:
             notify(index, total, params, time.perf_counter() - started)
         measured, seconds = _call_point(run_point, params)
+        if record_metrics:
+            observe_point(int(seconds * 1e9))
+            point_counter.inc()
         records.append(_merge_record(params, measured, seconds, timing))
     return records
 
@@ -176,7 +185,14 @@ def _run_parallel(
 
     total = len(points)
     records: List[Record] = []
-    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+    record_metrics = _obs.ENABLED
+    busy_seconds = 0.0
+    used_workers = min(workers, total)
+    if record_metrics:
+        registry = _obs.get_registry()
+        observe_point = registry.histogram("sweep.point.ns").observe
+        point_counter = registry.counter("sweep.points")
+    with ProcessPoolExecutor(max_workers=used_workers) as pool:
         futures = [
             pool.submit(_call_point, run_point, params) for params in points
         ]
@@ -186,7 +202,21 @@ def _run_parallel(
             if notify is not None:
                 notify(index, total, params, time.perf_counter() - started)
             measured, seconds = future.result()
+            if record_metrics:
+                observe_point(int(seconds * 1e9))
+                point_counter.inc()
+                busy_seconds += seconds
             records.append(_merge_record(params, measured, seconds, timing))
+    if record_metrics:
+        registry.gauge("sweep.workers.used").set(used_workers)
+        wall = time.perf_counter() - started
+        if wall > 0.0:
+            # Fraction of the pool's wall-time capacity spent computing
+            # points: 1.0 means perfectly packed workers, low values
+            # mean stragglers or pool overhead dominated.
+            registry.gauge("sweep.worker.utilisation").set(
+                min(1.0, busy_seconds / (wall * used_workers))
+            )
     return records
 
 
@@ -230,11 +260,19 @@ def run_sweep(
             index, total, params
         )
     started = time.perf_counter()
+    record_metrics = _obs.ENABLED
+    if record_metrics:
+        registry = _obs.get_registry()
+        registry.gauge("sweep.grid.points").set(len(points))
+        registry.gauge("sweep.workers.requested").set(workers)
     if workers > 1 and len(points) > 1 and _is_picklable(run_point):
         try:
-            return _run_parallel(
+            records = _run_parallel(
                 points, run_point, notify, timing, workers, started
             )
+            if record_metrics:
+                _record_run_ns(registry, started)
+            return records
         except ExperimentError:
             raise
         except Exception as error:
@@ -247,8 +285,23 @@ def run_sweep(
 
             if isinstance(error, ReproError) or isinstance(error, TypeError):
                 raise
-            return _run_serial(points, run_point, notify, timing, started)
-    return _run_serial(points, run_point, notify, timing, started)
+            if record_metrics:
+                registry.counter("sweep.serial_fallbacks").inc()
+            records = _run_serial(points, run_point, notify, timing, started)
+            if record_metrics:
+                _record_run_ns(registry, started)
+            return records
+    records = _run_serial(points, run_point, notify, timing, started)
+    if record_metrics:
+        _record_run_ns(registry, started)
+    return records
+
+
+def _record_run_ns(registry, started: float) -> None:
+    """Observe one whole-sweep wall time (collection is enabled)."""
+    registry.histogram("sweep.run.ns").observe(
+        int((time.perf_counter() - started) * 1e9)
+    )
 
 
 def pivot(

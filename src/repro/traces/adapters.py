@@ -18,7 +18,6 @@ can be made strict.
 from __future__ import annotations
 
 import csv
-import io
 import re
 from pathlib import Path
 from typing import Optional, TextIO, Union

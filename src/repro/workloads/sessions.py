@@ -20,8 +20,8 @@ separating the paper's ``workstation`` and ``users`` traces.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..errors import WorkloadError
 from ..traces.events import EventKind, Trace, TraceEvent

@@ -26,7 +26,7 @@ Every generator is a pure function of ``(events, seed)``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import WorkloadError

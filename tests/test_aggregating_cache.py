@@ -1,6 +1,5 @@
 """Unit tests for the aggregating cache (client- and server-side)."""
 
-import pytest
 
 from repro.caching.lru import LRUCache
 from repro.caching.multilevel import TwoLevelHierarchy

@@ -1,6 +1,5 @@
 """Unit tests for successor entropy (Equation 2)."""
 
-import math
 
 import pytest
 

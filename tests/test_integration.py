@@ -1,6 +1,5 @@
 """Integration tests: cross-module flows exercised end to end."""
 
-import io
 
 import pytest
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.predictability import (
-    FilePredictability,
     entropy_timeline,
     per_file_predictability,
     predictability_heatmap,

@@ -13,7 +13,7 @@ from repro.hoarding.hoard import (
     RecencyHoard,
     simulate_disconnection,
 )
-from repro.placement.disk import DiskLayout, layout_from_order, organ_pipe_order
+from repro.placement.disk import layout_from_order, organ_pipe_order
 from repro.placement.strategies import group_layout, random_layout
 from repro.traces.anonymize import (
     anonymize_trace,

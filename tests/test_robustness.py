@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.robustness import (
-    SeedBand,
     band_figure,
     ordering_holds_for_every_seed,
     seed_sweep,

@@ -5,10 +5,8 @@ these tests isolate each mechanism and verify it produces the effect
 it was added for (see WorkloadSpec field docs and docs/architecture.md).
 """
 
-import random
 from dataclasses import replace
 
-import pytest
 
 from repro.core.entropy import successor_entropy
 from repro.core.successors import evaluate_successor_misses

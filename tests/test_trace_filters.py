@@ -3,7 +3,7 @@
 import pytest
 
 from repro.caching.lru import LRUCache
-from repro.traces.events import EventKind, Trace, TraceEvent
+from repro.traces.events import EventKind, Trace
 from repro.traces.filters import (
     by_client,
     by_kind,
