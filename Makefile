@@ -6,7 +6,7 @@
 BENCH_JSON ?= BENCH_micro.json
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-check charts examples report csv all clean
+.PHONY: install lint test bench bench-smoke bench-check trace-smoke charts examples report csv all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,10 +34,22 @@ bench-smoke:
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
 # Perf-regression gate: fresh bench-smoke vs. the committed baseline.
+# The replay fast-path benches run with observability off and are held
+# to the strict 5% bar: dormant tracing instrumentation must be free.
 bench-check:
 	$(MAKE) bench-smoke BENCH_JSON=BENCH_fresh.json
 	$(PYTHON) scripts/check_bench.py --baseline BENCH_micro.json \
-		--fresh BENCH_fresh.json
+		--fresh BENCH_fresh.json \
+		--strict test_system_replay_throughput \
+		--strict test_system_replay_interned_throughput \
+		--strict test_aggregating_replay_fast_throughput
+
+# Tracing smoke: record a real traced replay, then validate the JSONL
+# export against the repro.trace/1 schema and its own meta accounting.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro explain --workload server \
+		--events 4000 --cache-size 150 --out trace_smoke.jsonl
+	PYTHONPATH=src $(PYTHON) scripts/check_trace.py trace_smoke.jsonl
 
 charts:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s
@@ -58,5 +70,5 @@ all: lint test bench examples
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
-	rm -f BENCH_fresh.json
+	rm -f BENCH_fresh.json trace_smoke.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Validate a ``repro.trace/1`` JSONL export (the CI tracing smoke).
+
+CI produces a trace with ``repro explain --out`` on a small synthetic
+workload and feeds it here.  The check round-trips the file through
+:func:`repro.obs.tracing.load_trace_jsonl` — which enforces the schema
+record by record — and then cross-checks the meta line's accounting
+against the records actually retained:
+
+* the meta line exists, carries the schema tag, and its ``retained``
+  count matches the number of record lines;
+* every record kind is in the schema vocabulary and no kind exceeds
+  its ``emitted`` total;
+* ``seq`` values are strictly increasing (causal order is the trace's
+  clock);
+* the trace is non-trivial: at least one ``open`` and one
+  ``group_fetch`` record, so an accidentally-disabled recorder cannot
+  pass the smoke.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/check_trace.py trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:  # runnable without PYTHONPATH too
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.obs.registry import ObservabilityError  # noqa: E402
+from repro.obs.tracing import TRACE_SCHEMA, load_trace_jsonl  # noqa: E402
+
+
+def check_trace(path: Path, require_kinds: List[str]) -> List[str]:
+    """Validate one exported trace; returns a list of problems."""
+    problems: List[str] = []
+    try:
+        loaded = load_trace_jsonl(path)
+    except (ObservabilityError, OSError) as error:
+        return [str(error)]
+    meta = loaded["meta"]
+    records = loaded["records"]
+
+    retained = meta.get("retained")
+    if retained != len(records):
+        problems.append(
+            f"meta claims {retained} retained records, file has {len(records)}"
+        )
+    emitted = meta.get("emitted") or {}
+    counts = {}
+    last_seq = 0
+    for record in records:
+        counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        if record["seq"] <= last_seq:
+            problems.append(
+                f"seq not strictly increasing at {record['kind']} "
+                f"seq={record['seq']} (previous {last_seq})"
+            )
+        last_seq = record["seq"]
+    for kind, count in sorted(counts.items()):
+        total = emitted.get(kind, 0)
+        if count > total:
+            problems.append(
+                f"{count} retained {kind} records but meta says only "
+                f"{total} were emitted"
+            )
+    for kind in require_kinds:
+        if not counts.get(kind):
+            problems.append(f"no {kind} records retained (recorder inactive?)")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=f"validate a {TRACE_SCHEMA} JSONL trace export"
+    )
+    parser.add_argument("trace", type=Path, help="JSONL file from repro explain --out")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help=(
+            "record kind that must be present (repeatable; "
+            "default: open, group_fetch)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    require = args.require if args.require is not None else ["open", "group_fetch"]
+
+    problems = check_trace(args.trace, require)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    loaded = load_trace_jsonl(args.trace)
+    print(
+        f"trace ok: {args.trace} ({len(loaded['records'])} records, "
+        f"schema {TRACE_SCHEMA})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

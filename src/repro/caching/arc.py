@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator
 
+from ..obs import registry as _obs
 from .base import Cache
 
 
@@ -47,6 +48,8 @@ class ARCCache(Cache):
             victim, _ = self._t2.popitem(last=False)
             self._b2[victim] = None
         self.stats.evictions += 1
+        if _obs.ENABLED:
+            self._record_eviction(victim)
 
     def _lookup(self, key: str) -> bool:
         if key in self._t1:
@@ -87,6 +90,8 @@ class ARCCache(Cache):
             else:
                 victim, _ = self._t1.popitem(last=False)
                 self.stats.evictions += 1
+                if _obs.ENABLED:
+                    self._record_eviction(victim)
         elif l1 < capacity and l1 + l2 >= capacity:
             if l1 + l2 == 2 * capacity:
                 self._b2.popitem(last=False)

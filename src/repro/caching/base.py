@@ -11,6 +11,13 @@ That single call is what trace replay drives.  Caches also expose
 ``install`` for callers — like the aggregating cache — that bring in
 keys *not* demanded by the workload (group members), so hit accounting
 stays honest: only demand accesses touch the statistics.
+
+Every policy is also observable for free: when collection is on, the
+demand and eviction paths below record ``cache.<policy>.*`` counters
+and emit flight-recorder ``open``/``evict``/``demand_fetch`` records,
+so baseline-vs-aggregating comparisons show up in ``repro metrics``
+and ``repro explain`` without per-policy instrumentation.  Disabled
+runs stay one branch per site.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from ..errors import CacheConfigurationError
+from ..obs import registry as _obs
+from ..obs import tracing as _tracing
 
 
 @dataclass
@@ -84,6 +93,12 @@ class Cache(abc.ABC):
     #: Human-readable policy name, used in reports and figure legends.
     policy_name = "cache"
 
+    #: Component name used in flight-recorder trace records.  Defaults
+    #: to the policy name; owners that deploy several caches (the
+    #: replay engine's per-client caches, the aggregating caches) set
+    #: an instance attribute so traces name the *role*, not the policy.
+    trace_name: Optional[str] = None
+
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise CacheConfigurationError(
@@ -121,15 +136,45 @@ class Cache(abc.ABC):
     def keys(self) -> Iterator[str]:
         """Iterate over resident keys (policy order not guaranteed)."""
 
+    # -- observability ----------------------------------------------------
+    def _record_access(self, key: str, hit: bool) -> None:
+        """Record one demand access (called only when collection is on)."""
+        registry = _obs.get_registry()
+        if hit:
+            registry.counter(f"cache.{self.policy_name}.hits").inc()
+        else:
+            registry.counter(f"cache.{self.policy_name}.misses").inc()
+        recorder = _tracing.ACTIVE
+        if recorder is not None:
+            recorder.open(self.trace_name or self.policy_name, key, hit, len(self))
+
+    def _record_eviction(self, victim: str, cause: Optional[str] = None) -> None:
+        """Record one eviction (called only when collection is on).
+
+        Policies that evict outside the base :meth:`_make_room` loop
+        (ARC, LIRS) call this from their own eviction sites so counter
+        totals always equal ``stats.evictions`` deltas.
+        """
+        _obs.get_registry().counter(f"cache.{self.policy_name}.evictions").inc()
+        recorder = _tracing.ACTIVE
+        if recorder is not None:
+            recorder.evict(self.trace_name or self.policy_name, victim, cause)
+
     # -- public protocol --------------------------------------------------
     def access(self, key: str) -> bool:
         """Demand access: return True on hit; install the key on miss."""
         if self._lookup(key):
             self.stats.hits += 1
+            if _obs.ENABLED:
+                self._record_access(key, hit=True)
             return True
         self.stats.misses += 1
+        if _obs.ENABLED:
+            self._record_access(key, hit=False)
         self._make_room()
         self._admit(key)
+        if _obs.ENABLED and _tracing.ACTIVE is not None:
+            _tracing.ACTIVE.demand_fetch(self.trace_name or self.policy_name, key)
         return False
 
     def probe(self, key: str) -> bool:
@@ -147,6 +192,16 @@ class Cache(abc.ABC):
         if key in self:
             return False
         self.stats.installs += 1
+        if _obs.ENABLED:
+            _obs.get_registry().counter(f"cache.{self.policy_name}.installs").inc()
+            recorder = _tracing.ACTIVE
+            if recorder is not None:
+                # Evictions forced by a non-demand install are the
+                # prefetch's cost, not the demand stream's.
+                with recorder.cause("group_install"):
+                    self._make_room()
+                    self._admit(key)
+                return True
         self._make_room()
         self._admit(key)
         return True
@@ -161,8 +216,10 @@ class Cache(abc.ABC):
     def _make_room(self) -> None:
         """Evict until there is room for one more key."""
         while len(self) >= self.capacity:
-            self._evict_one()
+            victim = self._evict_one()
             self.stats.evictions += 1
+            if _obs.ENABLED:
+                self._record_eviction(victim)
 
     def clear(self) -> None:
         """Drop all resident keys (statistics are kept)."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator
 
+from ..obs import registry as _obs
 from .base import Cache
 
 
@@ -88,6 +89,8 @@ class LIRSCache(Cache):
         if victim in self._stack:
             self._stack[victim] = "GHOST"
         self.stats.evictions += 1
+        if _obs.ENABLED:
+            self._record_eviction(victim)
 
     # -- Cache protocol -----------------------------------------------------
     def _lookup(self, key: str) -> bool:

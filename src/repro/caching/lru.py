@@ -13,8 +13,9 @@ tail (Section 3).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from typing import Iterator, List, Tuple
 
+from ..obs import registry as _obs
 from .base import Cache
 
 
@@ -76,7 +77,13 @@ class LRUCache(Cache):
         if key in self._order:
             return False
         self.stats.installs += 1
-        self._make_room()
+        if _obs.ENABLED:
+            _obs.get_registry().counter("cache.lru.installs").inc()
+        while len(self._order) >= self.capacity:
+            victim = self._evict_one()
+            self.stats.evictions += 1
+            if _obs.ENABLED:
+                self._record_eviction(victim, "group_install")
         self._order[key] = None
         self._order.move_to_end(key, last=False)
         return True
@@ -106,15 +113,45 @@ class LRUCache(Cache):
         newcomers = newcomers[: max(self.capacity - 1, 0)]
         if not newcomers:
             return 0
+        record = _obs.ENABLED
+        if record:
+            _obs.get_registry().counter("cache.lru.installs").inc(len(newcomers))
         overflow = len(self._order) + len(newcomers) - self.capacity
         for _ in range(max(overflow, 0)):
-            self._evict_one()
+            victim = self._evict_one()
             self.stats.evictions += 1
+            if record:
+                self._record_eviction(victim, "group_install")
         for key in newcomers:
             self._order[key] = None
             self._order.move_to_end(key, last=False)
             self.stats.installs += 1
         return len(newcomers)
+
+    def plan_group_install(self, keys) -> Tuple[List[str], List[Tuple[str, str]]]:
+        """Predict :meth:`install_group_at_tail`'s outcome without mutating.
+
+        Returns ``(installed, skipped)``: the keys the install would
+        newly place, and each unplaced key paired with its reason —
+        ``"resident"`` (already cached, not shipped twice) or
+        ``"capacity"`` (trimmed so the demanded MRU file survives).
+        Used by flight-recorder ``group_fetch`` records, which must
+        explain *why* members were skipped, not just how many.
+        """
+        installed: List[str] = []
+        skipped: List[Tuple[str, str]] = []
+        seen = set()
+        budget = max(self.capacity - 1, 0)
+        for key in keys:
+            if key in self._order or key in seen:
+                skipped.append((key, "resident"))
+                continue
+            seen.add(key)
+            if len(installed) < budget:
+                installed.append(key)
+            else:
+                skipped.append((key, "capacity"))
+        return installed, skipped
 
     def victim(self) -> str:
         """The key that would be evicted next (cache must be non-empty)."""
@@ -163,3 +200,25 @@ class LRUCache(Cache):
             if candidate == key:
                 return rank
         raise KeyError(key)
+
+
+def record_lru_counters(
+    registry, hits: int = 0, misses: int = 0, evictions: int = 0, installs: int = 0
+) -> None:
+    """Batch-credit ``cache.lru.*`` counter deltas to a registry.
+
+    The replay fast loops bypass :meth:`Cache.access` and the install
+    methods, so they report their per-policy counters as one delta per
+    replay through here.  Counters are created only for non-zero deltas
+    — exactly matching the generic path, which creates each counter on
+    its first increment — so fast and generic replays produce identical
+    registry snapshots (asserted by the equivalence tests).
+    """
+    if hits:
+        registry.counter("cache.lru.hits").inc(hits)
+    if misses:
+        registry.counter("cache.lru.misses").inc(misses)
+    if evictions:
+        registry.counter("cache.lru.evictions").inc(evictions)
+    if installs:
+        registry.counter("cache.lru.installs").inc(installs)

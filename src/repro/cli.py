@@ -12,6 +12,7 @@ is usable standalone::
     repro attribution | adaptation | servercap | compare
     repro profile --workload users        # predictability tooling
     repro metrics --workload server       # observability snapshot (JSONL)
+    repro explain --workload server       # traced replay: why hits/misses
     repro graph --workload server         # relationship-graph inspection
     repro workloads [name]                # the synthetic workload catalog
     repro report --out report.md          # regenerate everything
@@ -286,8 +287,19 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     registry, and the snapshot is printed as tables (and written as
     JSONL with ``--out``).
     """
+    from .caching import POLICIES, make_cache
     from .obs import collecting, write_jsonl
     from .sim.engine import DistributedFileSystem
+
+    baselines = [name for name in args.baselines.split(",") if name]
+    if baselines == ["all"]:
+        baselines = sorted(POLICIES)
+    unknown = sorted(set(baselines) - set(POLICIES))
+    if unknown:
+        raise ReproError(
+            f"unknown baseline policies: {', '.join(unknown)} "
+            f"(choose from: {', '.join(sorted(POLICIES))})"
+        )
 
     trace = make_workload(args.workload, args.events, args.seed)
     with collecting() as registry:
@@ -301,6 +313,16 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         started = time.perf_counter()
         system.replay(trace)
         seconds = time.perf_counter() - started
+        sequence = trace.file_ids() if baselines else ()
+        for name in baselines:
+            # Replay the same sequence through a plain (non-grouping)
+            # policy in the same registry.  The instance policy_name
+            # override namespaces its counters as cache.baseline.<name>.*
+            # so they never mix with the aggregating system's cache.lru.*.
+            cache = make_cache(name, args.client_capacity)
+            cache.policy_name = f"baseline.{name}"
+            for key in sequence:
+                cache.access(key)
 
     snapshot = registry.snapshot()
     rows = [["counter / gauge", "value"]]
@@ -323,6 +345,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print()
     print(rows_to_markdown(hist_rows))
 
+    if baselines:
+        counters = snapshot["counters"]
+
+        def _policy_row(label: str, prefix: str) -> List[str]:
+            hits = counters.get(f"{prefix}.hits", 0)
+            misses = counters.get(f"{prefix}.misses", 0)
+            evictions = counters.get(f"{prefix}.evictions", 0)
+            opens = hits + misses
+            rate = f"{hits / opens:.3f}" if opens else "-"
+            return [label, rate, str(hits), str(misses), str(evictions)]
+
+        compare_rows = [["policy", "hit rate", "hits", "misses", "evictions"]]
+        compare_rows.append(
+            _policy_row(f"aggregating system (g={args.group_size})", "cache.lru")
+        )
+        for name in baselines:
+            compare_rows.append(
+                _policy_row(f"baseline {name}", f"cache.baseline.{name}")
+            )
+        print("\nbaseline vs aggregating (from obs counters; system row sums")
+        print("client + server caches, so its hit rate is not one cache's):\n")
+        print(rows_to_markdown(compare_rows))
+
     timer = PerfTimer()
     timer.add("replay", seconds, len(trace))
     print(f"\nthroughput: {timer.report().summary()}")
@@ -338,6 +383,106 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             },
         )
         print(f"wrote {lines} JSONL records to {args.out}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Replay one workload under the flight recorder and explain it.
+
+    The whole distributed system (clients + server, grouping on) runs
+    inside :func:`repro.obs.tracing.recording`; the decision trace is
+    then folded into the questions the recorder exists to answer —
+    prefetch efficiency per component, eviction causes, the groups that
+    wasted the most cache space, and (with ``--file``) the retained
+    history of one file.  ``--out`` / ``--chrome`` export the ring as
+    schema-tagged JSONL and a Perfetto-loadable trace-event file.
+    """
+    from .obs import tracing
+    from .sim.engine import DistributedFileSystem
+
+    trace = make_workload(args.workload, args.events, args.seed)
+    with tracing.recording(capacity=args.buffer, sample=args.sample) as recorder:
+        system = DistributedFileSystem(
+            client_capacity=args.cache_size,
+            server_capacity=args.server_capacity,
+            group_size=args.group_size,
+        )
+        system.replay(trace)
+
+    emitted = sum(recorder.emitted.values())
+    print(
+        f"traced {len(trace)} events of {args.workload} "
+        f"(cache {args.cache_size}, server {args.server_capacity}, "
+        f"g={args.group_size}): {emitted} records emitted, "
+        f"{len(recorder)} retained (buffer {args.buffer}, "
+        f"sample {args.sample})\n"
+    )
+
+    rows = [
+        [
+            "component",
+            "opens",
+            "hit rate",
+            "demand",
+            "group installs",
+            "prefetch eff.",
+            "wasted share",
+            "evicted unused",
+        ]
+    ]
+    for summary in recorder.summary():
+        if not summary["opens"] and not summary["group_installs"]:
+            continue
+        opens = summary["opens"]
+        rate = f"{summary['hits'] / opens:.3f}" if opens else "-"
+        rows.append(
+            [
+                summary["component"],
+                str(opens),
+                rate,
+                str(summary["demand_fetches"]),
+                str(summary["group_installs"]),
+                f"{summary['prefetch_efficiency']:.3f}",
+                f"{summary['wasted_fetch_share']:.3f}",
+                str(summary["group_evicted_unused"]),
+            ]
+        )
+    print(rows_to_markdown(rows))
+
+    causes = recorder.eviction_causes()
+    if causes:
+        cause_rows = [["eviction cause", "count"]]
+        for cause, count in sorted(causes.items(), key=lambda kv: (-kv[1], kv[0])):
+            cause_rows.append([cause, str(count)])
+        print("\ntop eviction causes:\n")
+        print(rows_to_markdown(cause_rows))
+
+    wasteful = recorder.top_wasteful_groups(args.top)
+    if wasteful:
+        waste_rows = [["group leader", "wasted installs", "total installs"]]
+        for leader, wasted, installs in wasteful:
+            waste_rows.append([leader, str(wasted), str(installs)])
+        print("\ngroups that wasted the most cache space:\n")
+        print(rows_to_markdown(waste_rows))
+
+    if args.file:
+        print()
+        print(recorder.explain_file(args.file, at=args.at))
+
+    meta = {
+        "workload": args.workload,
+        "events": args.events,
+        "seed": args.seed,
+        "cache_size": args.cache_size,
+        "server_capacity": args.server_capacity,
+        "group_size": args.group_size,
+    }
+    if args.out is not None:
+        lines = tracing.write_trace_jsonl(recorder, args.out, meta=meta)
+        print(f"\nwrote {lines} {tracing.TRACE_SCHEMA} JSONL lines to {args.out}")
+    if args.chrome is not None:
+        count = tracing.write_chrome_trace(recorder, args.chrome, meta=meta)
+        print(f"wrote {count} Chrome trace events to {args.chrome}")
     return 0
 
 
@@ -386,7 +531,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"  running {section_id}...", file=sys.stderr)
 
     path = write_report(
-        args.out, events=args.events, charts=not args.no_charts, progress=progress
+        args.out,
+        events=args.events,
+        charts=not args.no_charts,
+        explain=args.explain,
+        progress=progress,
     )
     print(f"wrote full evaluation report to {path}")
     return 0
@@ -592,7 +741,81 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the generic per-event replay path (metrics are identical)",
     )
+    metrics.add_argument(
+        "--baselines",
+        default="",
+        help=(
+            "comma-separated plain policies (or 'all') to replay alongside "
+            "the aggregating system for a counter-backed comparison table"
+        ),
+    )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help=(
+            "replay a workload under the decision-trace flight recorder: "
+            "prefetch efficiency, eviction causes, per-file history"
+        ),
+    )
+    explain.add_argument(
+        "--workload",
+        default="server",
+        choices=sorted(WORKLOADS),
+        help="workload to replay (default: server)",
+    )
+    explain.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENTS,
+        help=f"trace length in accesses (default: {DEFAULT_EVENTS})",
+    )
+    explain.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    explain.add_argument(
+        "--cache-size", type=int, default=250, help="client cache capacity"
+    )
+    explain.add_argument(
+        "--server-capacity", type=int, default=300, help="server cache capacity"
+    )
+    explain.add_argument(
+        "--group-size", type=int, default=5, help="aggregating group size g"
+    )
+    explain.add_argument(
+        "--file", default="", help="narrate the retained history of one file"
+    )
+    explain.add_argument(
+        "--at",
+        type=int,
+        default=None,
+        help="trace seq of interest for --file (marks the matching record)",
+    )
+    explain.add_argument(
+        "--top", type=int, default=10, help="wasteful groups to list"
+    )
+    explain.add_argument(
+        "--buffer",
+        type=int,
+        default=65536,
+        help="ring-buffer capacity in records (accounting stays exact beyond it)",
+    )
+    explain.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        help="keep every Nth record of each kind in the ring (1 = all)",
+    )
+    explain.add_argument(
+        "--out", type=Path, default=None, help="write the trace as repro.trace/1 JSONL"
+    )
+    explain.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        help="write a Chrome trace-event JSON (Perfetto / about:tracing)",
+    )
+    explain.set_defaults(handler=_cmd_explain)
 
     adaptation = subparsers.add_parser(
         "adaptation", help="hit rate across an abrupt workload shift"
@@ -629,6 +852,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--no-charts", action="store_true", help="tables only, no ASCII charts"
+    )
+    report.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "append the prefetch-provenance section (per-workload prefetch "
+            "efficiency and wasted-fetch share from traced replays)"
+        ),
     )
     report.set_defaults(handler=_cmd_report)
 

@@ -22,12 +22,14 @@ Two deployments of the same idea:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Tuple
 
 from ..caching.base import Cache, CacheStats
-from ..caching.lru import LRUCache
+from ..caching.lru import LRUCache, record_lru_counters
 from ..obs import registry as _obs
+from ..obs import tracing as _tracing
 from ..traces.symbols import intern_sequence
 from .grouping import GroupBuilder, build_group_fast
 from .successors import LRUSuccessorList, SuccessorTracker
@@ -42,15 +44,38 @@ class GroupFetchLog:
     demanded or predicted; ``predicted_installed`` counts predicted
     companions that were actually new to the cache (already-resident
     companions are not shipped twice).
+
+    ``max_records`` optionally keeps per-fetch ``(demanded, size,
+    installed)`` detail records, bounded to the newest ``max_records``
+    entries so long replays never accumulate one record per group fetch
+    unbounded.  The aggregate counters above — and therefore the
+    count and :attr:`mean_group_size` summary — stay exact however
+    many records have been discarded.
     """
 
     group_fetches: int = 0
     files_retrieved: int = 0
     predicted_installed: int = 0
+    max_records: int = 0
+    records: Optional[deque] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_records < 0:
+            raise ValueError(
+                f"max_records must be >= 0, got {self.max_records}"
+            )
+        if self.max_records and self.records is None:
+            self.records = deque(maxlen=self.max_records)
+
+    def record(self, demanded: str, size: int, installed: int) -> None:
+        """Keep one per-fetch detail record (only when bounded keeping
+        is enabled); the oldest record is dropped once full."""
+        if self.records is not None:
+            self.records.append((demanded, size, installed))
 
     @property
     def mean_group_size(self) -> float:
-        """Average files shipped per group fetch."""
+        """Average files shipped per group fetch (exact, never sampled)."""
         if not self.group_fetches:
             return 0.0
         return self.files_retrieved / self.group_fetches
@@ -72,6 +97,10 @@ class AggregatingClientCache:
     shared_tracker:
         Optional externally owned tracker, letting several caches (or a
         pre-trained server) share relationship metadata.
+    max_fetch_records:
+        When positive, the :class:`GroupFetchLog` keeps the newest
+        ``max_fetch_records`` per-fetch detail records (replays then
+        take the generic path so every fetch is seen).
     """
 
     def __init__(
@@ -81,8 +110,10 @@ class AggregatingClientCache:
         successor_policy: str = "lru",
         successor_capacity: int = 8,
         shared_tracker: Optional[SuccessorTracker] = None,
+        max_fetch_records: int = 0,
     ):
         self._cache = LRUCache(capacity)
+        self._cache.trace_name = "client"
         self.tracker = (
             shared_tracker
             if shared_tracker is not None
@@ -90,7 +121,7 @@ class AggregatingClientCache:
         )
         self.builder = GroupBuilder(self.tracker, group_size)
         self.group_size = group_size
-        self.fetch_log = GroupFetchLog()
+        self.fetch_log = GroupFetchLog(max_records=max_fetch_records)
         #: Escape hatch for tests and A/B comparisons: when False,
         #: :meth:`replay` always takes the generic per-event path even
         #: if the configuration qualifies for the fast loop.
@@ -133,15 +164,22 @@ class AggregatingClientCache:
             _obs.get_registry().histogram("client_cache.group_fetch.size").observe(
                 len(group)
             )
-        self.fetch_log.group_fetches += 1
-        self.fetch_log.files_retrieved += 1  # the demanded file itself
+            recorder = _tracing.ACTIVE
+            if recorder is not None:
+                planned, skipped = self._cache.plan_group_install(group.predicted)
+                recorder.group_fetch("client", file_id, planned, skipped)
+        log = self.fetch_log
+        log.group_fetches += 1
+        log.files_retrieved += 1  # the demanded file itself
         # The demanded file was installed at the MRU head by access();
         # companions go to the LRU tail as one batch so unconfirmed
         # predictions never outrank demand-fetched residents (and never
         # evict each other).
         installed = self._install_companions(group.predicted)
-        self.fetch_log.files_retrieved += installed
-        self.fetch_log.predicted_installed += installed
+        log.files_retrieved += installed
+        log.predicted_installed += installed
+        if log.records is not None:
+            log.record(file_id, 1 + installed, installed)
         return False
 
     def _install_companions(self, companions) -> int:
@@ -203,10 +241,15 @@ class AggregatingClientCache:
         The fast loop hard-codes LRU successor lists and the stock group
         builder, and bypasses the :meth:`access` / ``_install_companions``
         hooks — so subclasses and alternative policies take the generic
-        per-event path.
+        per-event path.  So do replays that need per-event visibility:
+        an active flight recorder, or per-fetch ``GroupFetchLog``
+        records (the fused loop batches its accounting and would emit
+        neither).
         """
         return (
             self.use_fast_replay
+            and not (_obs.ENABLED and _tracing.ACTIVE is not None)
+            and self.fetch_log.records is None
             and type(self) is AggregatingClientCache
             and type(self.tracker) is SuccessorTracker
             and self.tracker.policy == "lru"
@@ -239,6 +282,7 @@ class AggregatingClientCache:
         # case, and only when collection is enabled).
         record = _obs.ENABLED
         observe_group = observe_chain = None
+        singleton_builds = 0
         if record:
             registry = _obs.get_registry()
             observe_group = registry.histogram("client_cache.group_fetch.size").observe
@@ -287,6 +331,8 @@ class AggregatingClientCache:
             if observe_group is not None:
                 observe_group(len(members))
                 observe_chain(len(members))
+                if len(members) == 1:
+                    singleton_builds += 1
             group_fetches += 1
             installed = install(order, members[1:], stats)
             files_retrieved += 1 + installed
@@ -304,6 +350,18 @@ class AggregatingClientCache:
             events = len(sequence)
             transitions = events - 1 if (prev_was_none and events) else events
             self._record_replay_metrics(registry, baseline, transitions)
+            # Per-policy counters the generic path records inside the
+            # inner LRU cache, as one batched delta (fast branch only —
+            # the generic path already counted per event).
+            record_lru_counters(
+                registry,
+                hits=stats.hits - baseline[0],
+                misses=stats.misses - baseline[1],
+                evictions=stats.evictions - baseline[2],
+                installs=stats.installs - baseline[3],
+            )
+            if singleton_builds:
+                registry.counter("grouping.build.singletons").inc(singleton_builds)
             registry.histogram("client_cache.replay.fast.ns").observe(
                 time.perf_counter_ns() - started
             )
@@ -373,9 +431,11 @@ class AggregatingServerCache(Cache):
         successor_capacity: int = 8,
         shared_tracker: Optional[SuccessorTracker] = None,
         observe_requests: bool = True,
+        max_fetch_records: int = 0,
     ):
         super().__init__(capacity)
         self._cache = LRUCache(capacity)
+        self._cache.trace_name = "server"
         self.tracker = (
             shared_tracker
             if shared_tracker is not None
@@ -383,7 +443,7 @@ class AggregatingServerCache(Cache):
         )
         self.builder = GroupBuilder(self.tracker, group_size)
         self.group_size = group_size
-        self.fetch_log = GroupFetchLog()
+        self.fetch_log = GroupFetchLog(max_records=max_fetch_records)
         # When the tracker is fed externally (cooperative clients
         # piggy-backing their full access streams), the server must not
         # double-observe its own filtered request stream.
@@ -406,11 +466,18 @@ class AggregatingServerCache(Cache):
             registry = _obs.get_registry()
             registry.counter("server_cache.misses").inc()
             registry.histogram("server_cache.group_fetch.size").observe(len(group))
-        self.fetch_log.group_fetches += 1
-        self.fetch_log.files_retrieved += 1
+            recorder = _tracing.ACTIVE
+            if recorder is not None:
+                planned, skipped = self._cache.plan_group_install(group.predicted)
+                recorder.group_fetch("server", key, planned, skipped)
+        log = self.fetch_log
+        log.group_fetches += 1
+        log.files_retrieved += 1
         installed = self._cache.install_group_at_tail(group.predicted)
-        self.fetch_log.files_retrieved += installed
-        self.fetch_log.predicted_installed += installed
+        log.files_retrieved += installed
+        log.predicted_installed += installed
+        if log.records is not None:
+            log.record(key, 1 + installed, installed)
         return False
 
     def _lookup(self, key: str) -> bool:  # pragma: no cover - access() overrides

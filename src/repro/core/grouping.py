@@ -110,6 +110,11 @@ class GroupBuilder:
             time.perf_counter_ns() - started_ns
         )
         registry.histogram("grouping.chain.length").observe(size)
+        if size == 1:
+            # Metadata offered nothing to chain on: the group request
+            # degenerated to a plain demand fetch.  The replay fast
+            # loops count the same condition inline.
+            registry.counter("grouping.build.singletons").inc()
 
     def _chain_next(self, frontier: str, used: Set[str]) -> Optional[str]:
         """Most likely successor of ``frontier`` not already grouped."""

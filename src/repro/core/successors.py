@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import CacheConfigurationError
 from ..obs import registry as _obs
+from ..obs import tracing as _tracing
 
 #: Sentinel capacity meaning "unbounded" (used by the oracle policy).
 UNBOUNDED = 0
@@ -365,9 +366,15 @@ class SuccessorTracker:
         if slist is None:
             slist = make_successor_list(self.policy, self.capacity)
             self._lists[predecessor] = slist
-        slist.observe(successor)
         if _obs.ENABLED:
             _obs.get_registry().counter("successors.transitions").inc()
+            recorder = _tracing.ACTIVE
+            if recorder is not None:
+                new = successor not in slist
+                slist.observe(successor)
+                recorder.group_update(predecessor, successor, new, len(slist))
+                return
+        slist.observe(successor)
 
     def observe_sequence(self, sequence: Iterable[str]) -> None:
         """Feed a whole access sequence through :meth:`observe`."""

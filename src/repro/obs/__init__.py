@@ -16,6 +16,12 @@ Typical use::
     with obs.collecting() as registry:
         system.replay(trace)
     obs.write_jsonl(registry, "results/metrics.jsonl")
+
+The :mod:`~repro.obs.tracing` sibling answers the per-decision
+question ("why did this open miss?"): a ring-buffered flight recorder
+of typed records with prefetch-provenance accounting, activated with
+:func:`recording` and exported as ``repro.trace/1`` JSONL or Chrome
+trace-event JSON.
 """
 
 from .export import SCHEMA, dump_jsonl, load_jsonl, snapshot_records, write_jsonl
@@ -33,9 +39,29 @@ from .registry import (
     get_registry,
     set_registry,
 )
+from .tracing import (
+    TRACE_SCHEMA,
+    FlightRecorder,
+    chrome_trace,
+    load_trace_jsonl,
+    recording,
+    set_recorder,
+    trace_records,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "SCHEMA",
+    "TRACE_SCHEMA",
+    "FlightRecorder",
+    "chrome_trace",
+    "load_trace_jsonl",
+    "recording",
+    "set_recorder",
+    "trace_records",
+    "write_chrome_trace",
+    "write_trace_jsonl",
     "DEFAULT_BOUNDS",
     "Counter",
     "Gauge",

@@ -32,11 +32,12 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..caching.base import CacheStats
-from ..caching.lru import LRUCache
+from ..caching.lru import LRUCache, record_lru_counters
 from ..core.grouping import GroupBuilder, build_group_fast
 from ..core.successors import LRUSuccessorList, SuccessorTracker
 from ..errors import SimulationError
 from ..obs import registry as _obs
+from ..obs import tracing as _tracing
 from ..traces.events import EventKind, Trace
 from ..traces.symbols import SymbolTable, intern_sequence
 
@@ -142,6 +143,8 @@ class DistributedFileSystem:
         self.server_cache: Optional[LRUCache] = (
             LRUCache(server_capacity) if server_capacity > 0 else None
         )
+        if self.server_cache is not None:
+            self.server_cache.trace_name = "server"
         self.store = Store()
         self.clients: Dict[str, LRUCache] = {}
         self.remote_requests = 0
@@ -157,6 +160,7 @@ class DistributedFileSystem:
         cache = self.clients.get(client_id)
         if cache is None:
             cache = LRUCache(self.client_capacity)
+            cache.trace_name = f"client.{client_id}"
             self.clients[client_id] = cache
         return cache
 
@@ -181,6 +185,7 @@ class DistributedFileSystem:
         # Serve each group member from the server cache when resident,
         # otherwise stage it from the store (and cache it server-side).
         to_ship: List[str] = list(group)
+        recorder = _tracing.ACTIVE if _obs.ENABLED else None
         if self.server_cache is not None:
             if self.server_cache.access(file_id):
                 self._server_stats.hits += 1
@@ -191,6 +196,9 @@ class DistributedFileSystem:
             for member in companions:
                 if not self.server_cache.probe(member):
                     self.store.fetch(member)
+            if recorder is not None:
+                planned, skipped = self.server_cache.plan_group_install(companions)
+                recorder.group_fetch("server", file_id, planned, skipped)
             self.server_cache.install_group_at_tail(companions)
         else:
             for member in to_ship:
@@ -199,24 +207,33 @@ class DistributedFileSystem:
         # Client placement: the demanded file is already at the MRU head
         # (admitted by the miss above); companions append at the tail as
         # one batch.
-        cache.install_group_at_tail(
-            [member for member in to_ship if member != file_id]
-        )
+        client_companions = [member for member in to_ship if member != file_id]
+        if recorder is not None:
+            planned, skipped = cache.plan_group_install(client_companions)
+            recorder.group_fetch(cache.trace_name, file_id, planned, skipped)
+        cache.install_group_at_tail(client_companions)
         return False
 
     def _apply_mutation(self, client_id: str, file_id, kind: EventKind) -> None:
         """Invalidate cached copies for one mutation (see class docs)."""
+        recorder = _tracing.ACTIVE if _obs.ENABLED else None
         if kind is EventKind.DELETE:
             for cache in self.clients.values():
                 if cache.invalidate(file_id):
                     self.invalidations += 1
+                    if recorder is not None:
+                        recorder.evict(cache.trace_name, file_id, "invalidate")
             if self.server_cache is not None:
                 if self.server_cache.invalidate(file_id):
                     self.invalidations += 1
+                    if recorder is not None:
+                        recorder.evict("server", file_id, "invalidate")
             return
         for other_id, cache in self.clients.items():
             if other_id != client_id and cache.invalidate(file_id):
                 self.invalidations += 1
+                if recorder is not None:
+                    recorder.evict(cache.trace_name, file_id, "invalidate")
 
     def process_mutation(self, client_id: str, event) -> None:
         """Apply one mutation event's consistency effects.
@@ -233,8 +250,14 @@ class DistributedFileSystem:
         The fast loop hard-codes LRU successor lists, plain LRU caches,
         the stock group builder, and no write invalidation; anything
         else (subclasses, alternative policies) takes the generic path.
+        An active flight recorder also forces the generic path: the
+        fused loop batches its accounting and cannot emit per-decision
+        trace records, and the tracing contract is that traced and
+        untraced replays count identically.
         """
         if not self.use_fast_replay:
+            return False
+        if _obs.ENABLED and _tracing.ACTIVE is not None:
             return False
         if self.invalidate_on_write:
             return False
@@ -258,16 +281,38 @@ class DistributedFileSystem:
         return True
 
     def _metrics_baseline(self) -> Tuple:
-        """Pre-replay totals used to record per-replay metric deltas."""
+        """Pre-replay totals used to record per-replay metric deltas.
+
+        Client and server-LRU entries carry the full 4-tuple (hits,
+        misses, evictions, installs) so the fast loop can batch-credit
+        the per-policy ``cache.lru.*`` counters the generic path
+        records per event inside the caches themselves.
+        """
+        server = self.server_cache
         return (
             {
-                client_id: (cache.stats.hits, cache.stats.misses)
+                client_id: (
+                    cache.stats.hits,
+                    cache.stats.misses,
+                    cache.stats.evictions,
+                    cache.stats.installs,
+                )
                 for client_id, cache in self.clients.items()
             },
             (self._server_stats.hits, self._server_stats.misses),
             self.store.fetches,
             self.remote_requests,
             self.invalidations,
+            (
+                (
+                    server.stats.hits,
+                    server.stats.misses,
+                    server.stats.evictions,
+                    server.stats.installs,
+                )
+                if server is not None
+                else None
+            ),
         )
 
     def _record_replay_metrics(
@@ -281,11 +326,11 @@ class DistributedFileSystem:
         :meth:`SuccessorTracker.observe_transition`).
         """
         clients_before, server_before, store_before, remote_before, inv_before = (
-            baseline
+            baseline[:5]
         )
         total_hits = total_misses = 0
         for client_id, cache in self.clients.items():
-            hits_before, misses_before = clients_before.get(client_id, (0, 0))
+            hits_before, misses_before = clients_before.get(client_id, (0, 0, 0, 0))[:2]
             hits = cache.stats.hits - hits_before
             misses = cache.stats.misses - misses_before
             total_hits += hits
@@ -315,6 +360,41 @@ class DistributedFileSystem:
         )
         if transitions:
             registry.counter("successors.transitions").inc(transitions)
+
+    def _record_policy_counters(self, registry, baseline: Tuple) -> None:
+        """Batch-credit ``cache.lru.*`` deltas (fast replay branch only).
+
+        The generic path records these per event inside the LRU caches;
+        the fused loop bypasses those sites, so it credits the same
+        totals here from the stats deltas of every client cache plus
+        the server cache.  Never called from the shared
+        :meth:`_record_replay_metrics` — that would double-count the
+        generic path.
+        """
+        clients_before = baseline[0]
+        server_before = baseline[5]
+        hits = misses = evictions = installs = 0
+        for client_id, cache in self.clients.items():
+            before = clients_before.get(client_id, (0, 0, 0, 0))
+            stats = cache.stats
+            hits += stats.hits - before[0]
+            misses += stats.misses - before[1]
+            evictions += stats.evictions - before[2]
+            installs += stats.installs - before[3]
+        if self.server_cache is not None:
+            before = server_before if server_before is not None else (0, 0, 0, 0)
+            stats = self.server_cache.stats
+            hits += stats.hits - before[0]
+            misses += stats.misses - before[1]
+            evictions += stats.evictions - before[2]
+            installs += stats.installs - before[3]
+        record_lru_counters(
+            registry,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            installs=installs,
+        )
 
     def _replay_fast(self, trace: Trace, intern: bool) -> SystemMetrics:
         """Inlined replay loop for the common LRU configuration.
@@ -358,6 +438,7 @@ class DistributedFileSystem:
         # collection is enabled).
         record = _obs.ENABLED
         observe_group = observe_chain = None
+        singleton_builds = 0
         if record:
             registry = _obs.get_registry()
             observe_group = registry.histogram("engine.group_fetch.size").observe
@@ -399,6 +480,7 @@ class DistributedFileSystem:
                 cache = clients.get(client_id)
                 if cache is None:
                     cache = LRUCache(client_capacity)
+                    cache.trace_name = f"client.{client_id}"
                     clients[client_id] = cache
                 cache_listener = cache.evict_listener
                 order = cache._order
@@ -438,6 +520,8 @@ class DistributedFileSystem:
             if observe_group is not None:
                 observe_group(len(members))
                 observe_chain(len(members))
+                if len(members) == 1:
+                    singleton_builds += 1
             companions = members[1:]
             if server is not None:
                 if file_id in server_order:
@@ -481,6 +565,9 @@ class DistributedFileSystem:
                 else transition_sites
             )
             self._record_replay_metrics(registry, baseline, transitions)
+            self._record_policy_counters(registry, baseline)
+            if singleton_builds:
+                registry.counter("grouping.build.singletons").inc(singleton_builds)
             registry.histogram("engine.replay.fast.ns").observe(
                 time.perf_counter_ns() - started
             )

@@ -62,6 +62,21 @@ class TestCompare:
         comparisons, _, _ = check_bench.compare(baseline, fresh)
         assert not comparisons[0]["regressed"]
 
+    def test_strict_names_use_the_strict_threshold(self):
+        baseline = {"b": _bench("b", eps=1000)}
+        fresh = {"b": _bench("b", eps=900)}  # -10%: fine at 25%, not at 5%
+        loose, _, _ = check_bench.compare(baseline, fresh)
+        assert not loose[0]["regressed"] and not loose[0]["strict"]
+        strict, _, _ = check_bench.compare(baseline, fresh, strict=["b"])
+        assert strict[0]["regressed"] and strict[0]["strict"]
+        assert strict[0]["threshold"] == 0.05
+
+    def test_strict_allows_small_drift(self):
+        baseline = {"b": _bench("b", eps=1000)}
+        fresh = {"b": _bench("b", eps=960)}  # -4%: within the 5% bar
+        comparisons, _, _ = check_bench.compare(baseline, fresh, strict=["b"])
+        assert not comparisons[0]["regressed"]
+
     def test_missing_and_extra_names_are_reported_not_compared(self):
         baseline = {"old": _bench("old", eps=10), "both": _bench("both", eps=10)}
         fresh = {"new": _bench("new", eps=10), "both": _bench("both", eps=10)}
@@ -126,6 +141,42 @@ class TestMain:
         )
         assert code == 1
         assert "not found" in capsys.readouterr().err
+
+    def test_strict_gate_fails_a_ten_percent_drop(self, tmp_path, capsys):
+        baseline = _bench_file(tmp_path, "base.json", [_bench("a", eps=1000)])
+        fresh = _bench_file(tmp_path, "fresh.json", [_bench("a", eps=900)])
+        args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+        assert check_bench.main(args) == 0
+        assert check_bench.main(args + ["--strict", "a"]) == 1
+        assert "[strict]" in capsys.readouterr().out
+
+    def test_missing_strict_benchmark_fails_the_gate(self, tmp_path, capsys):
+        baseline = _bench_file(tmp_path, "base.json", [_bench("a", eps=10)])
+        fresh = _bench_file(tmp_path, "fresh.json", [_bench("a", eps=10)])
+        code = check_bench.main(
+            [
+                "--baseline",
+                str(baseline),
+                "--fresh",
+                str(fresh),
+                "--strict",
+                "vanished",
+            ]
+        )
+        assert code == 1
+        assert "strict benchmark(s) missing" in capsys.readouterr().err
+
+    def test_ci_strict_benches_exist_in_committed_baseline(self):
+        # The Makefile/CI strict names must track benchmark renames.
+        baseline = check_bench.load_benchmarks(
+            _SCRIPT.parent.parent / "BENCH_micro.json"
+        )
+        for name in (
+            "test_system_replay_throughput",
+            "test_system_replay_interned_throughput",
+            "test_aggregating_replay_fast_throughput",
+        ):
+            assert name in baseline
 
     def test_custom_threshold_tightens_the_gate(self, tmp_path):
         baseline = _bench_file(tmp_path, "base.json", [_bench("a", eps=1000)])
