@@ -6,7 +6,7 @@
 BENCH_JSON ?= BENCH_micro.json
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-check trace-smoke charts examples report csv all clean
+.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke charts examples report csv all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -51,6 +51,15 @@ trace-smoke:
 		--events 4000 --cache-size 150 --out trace_smoke.jsonl
 	PYTHONPATH=src $(PYTHON) scripts/check_trace.py trace_smoke.jsonl
 
+# Time-series smoke: record a windowed replay, then validate the JSONL
+# export (repro.ts/1 schema, monotone windows, Prometheus text parses)
+# and confirm the drift scanner runs end-to-end on the same series.
+ts-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro metrics --workload server \
+		--events 6000 --window 500 --ts-out ts_smoke.jsonl
+	PYTHONPATH=src $(PYTHON) scripts/check_timeseries.py ts_smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro drift ts_smoke.jsonl --history 4
+
 charts:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s
 
@@ -70,5 +79,5 @@ all: lint test bench examples
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
-	rm -f BENCH_fresh.json trace_smoke.jsonl
+	rm -f BENCH_fresh.json trace_smoke.jsonl ts_smoke.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Validate a ``repro.ts/1`` JSONL export (the CI time-series smoke).
+
+CI produces a windowed series with ``repro metrics --window N --ts-out``
+on a small synthetic workload and feeds it here.  The check round-trips
+the file through :func:`repro.obs.timeseries.load_ts_jsonl` — which
+enforces the schema record by record — and then cross-checks the
+series' invariants:
+
+* the meta line exists, carries the schema tag, and its ``samples``
+  count matches the sample lines in the file;
+* per source stream, ``index`` values are strictly increasing, and
+  replay samples' window ``start`` offsets are strictly increasing
+  with every window non-empty;
+* replay counters are internally consistent (hits + misses == events
+  for single-client replays is *not* assumed, but no counter may be
+  negative and ratios must be in range);
+* the series is non-trivial — at least one replay sample — so an
+  accidentally-disabled collector cannot pass the smoke;
+* the Prometheus text rendering of the loaded samples parses: every
+  non-comment line is ``name value`` with a float value, every metric
+  is declared by ``# TYPE``, and the output is ``# EOF``-terminated.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/check_timeseries.py series.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:  # runnable without PYTHONPATH too
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.obs.registry import ObservabilityError  # noqa: E402
+from repro.obs.timeseries import (  # noqa: E402
+    TS_SCHEMA,
+    load_ts_jsonl,
+    prometheus_text,
+)
+
+
+def _check_prometheus(text: str) -> List[str]:
+    """Parse one Prometheus/OpenMetrics exposition; returns problems."""
+    problems: List[str] = []
+    declared = set()
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("prometheus text is not '# EOF'-terminated")
+    for number, line in enumerate(lines, start=1):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge"):
+                problems.append(f"prometheus line {number}: bad TYPE: {line!r}")
+            else:
+                declared.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            problems.append(
+                f"prometheus line {number}: expected 'name value': {line!r}"
+            )
+            continue
+        name, value = parts
+        if name not in declared:
+            problems.append(
+                f"prometheus line {number}: metric {name} has no # TYPE"
+            )
+        try:
+            float(value)
+        except ValueError:
+            problems.append(
+                f"prometheus line {number}: non-numeric value {value!r}"
+            )
+    return problems
+
+
+def check_timeseries(path: Path, require_replay: bool = True) -> List[str]:
+    """Validate one exported series; returns a list of problems."""
+    problems: List[str] = []
+    try:
+        loaded = load_ts_jsonl(path)
+    except (ObservabilityError, OSError) as error:
+        return [str(error)]
+    meta = loaded["meta"]
+    samples = loaded["samples"]
+
+    claimed = meta.get("samples")
+    if claimed != len(samples):
+        problems.append(
+            f"meta claims {claimed} samples, file has {len(samples)}"
+        )
+    window = meta.get("window")
+    if not isinstance(window, int) or window < 1:
+        problems.append(f"meta window must be a positive int, got {window!r}")
+
+    last_index = {}
+    last_start = None
+    replay_samples = 0
+    for position, sample in enumerate(samples):
+        where = f"sample {position} ({sample.source})"
+        previous = last_index.get(sample.source)
+        if previous is not None and sample.index <= previous:
+            problems.append(
+                f"{where}: index {sample.index} not strictly increasing "
+                f"(previous {previous})"
+            )
+        last_index[sample.source] = sample.index
+        if sample.source == "replay":
+            replay_samples += 1
+            if last_start is not None and sample.start <= last_start:
+                problems.append(
+                    f"{where}: window start {sample.start} not strictly "
+                    f"increasing (previous {last_start})"
+                )
+            last_start = sample.start
+            if sample.events < 1:
+                problems.append(f"{where}: empty window ({sample.events} events)")
+            if isinstance(window, int) and sample.events > window:
+                problems.append(
+                    f"{where}: {sample.events} events exceed window {window}"
+                )
+        for counter in (
+            "events",
+            "hits",
+            "misses",
+            "remote_requests",
+            "store_fetches",
+            "bytes_fetched",
+            "group_installs",
+            "evictions",
+            "invalidations",
+        ):
+            if getattr(sample, counter) < 0:
+                problems.append(
+                    f"{where}: negative {counter} ({getattr(sample, counter)})"
+                )
+        for ratio in ("hit_ratio", "prefetch_efficiency", "wasted_fetch_share"):
+            value = getattr(sample, ratio)
+            if not 0.0 <= value <= 1.0:
+                problems.append(f"{where}: {ratio} {value} outside [0, 1]")
+        if sample.entropy is not None and sample.entropy < 0:
+            problems.append(f"{where}: negative entropy ({sample.entropy})")
+    if require_replay and not replay_samples:
+        problems.append("no replay samples in the series (collector inactive?)")
+
+    problems.extend(_check_prometheus(prometheus_text(samples)))
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=f"validate a {TS_SCHEMA} JSONL time-series export"
+    )
+    parser.add_argument(
+        "series",
+        type=Path,
+        help="JSONL file from repro metrics --window N --ts-out",
+    )
+    parser.add_argument(
+        "--allow-empty-replay",
+        action="store_true",
+        help="accept series with no replay samples (sweep-only exports)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_timeseries(
+        args.series, require_replay=not args.allow_empty_replay
+    )
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    loaded = load_ts_jsonl(args.series)
+    print(
+        f"timeseries ok: {args.series} ({len(loaded['samples'])} samples, "
+        f"schema {TS_SCHEMA})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Workload-drift detection over windowed telemetry.
+
+A cache that was sized for one access pattern silently degrades when
+the workload shifts underneath it — the in-network-cache studies the
+ROADMAP cites reason about deployed caches exactly this way, from
+hit-ratio and utilization time series.  This module turns the
+``repro.ts/1`` series produced by :mod:`repro.obs.timeseries` into
+event-indexed alerts: *the hit ratio collapsed at event 10,000*, or
+*the successor entropy jumped a regime at window 12* (the paper's own
+predictability metric, so an entropy shift means the grouping
+machinery's world-model just went stale).
+
+The detector is a rolling mean / EWMA z-score change-point test:
+
+* A **rolling baseline** (mean and standard deviation over the last
+  ``history`` windows) models the current regime.
+* An **EWMA** of the series smooths single-window noise before it is
+  compared against the baseline — one weird window is not a drift.
+* A window whose smoothed value sits more than ``threshold`` standard
+  deviations from the baseline mean raises a :class:`DriftAlert`; the
+  baseline then *resets* so the new regime is adopted immediately
+  instead of alerting on every subsequent window of the new normal.
+
+A standard-deviation **floor** keeps perfectly stationary stretches
+(std ≈ 0) from turning microscopic wiggles into infinite z-scores; the
+floor is relative to the baseline mean so the detector works unchanged
+for ratios in [0, 1] and for entropies in bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+#: Metrics ``detect_drift`` watches by default: the collapse signal
+#: (hit ratio) and the regime signal (successor entropy).
+DEFAULT_METRICS = ("hit_ratio", "entropy")
+
+
+@dataclass
+class DriftAlert:
+    """One detected change point.
+
+    ``index`` is the sample's window index; ``start`` its first event
+    index (so alerts are event-addressable in the original trace).
+    ``direction`` is ``"drop"`` or ``"rise"`` relative to the baseline
+    regime; ``value`` is the smoothed (EWMA) metric value that tripped
+    the test against ``baseline`` (the rolling mean it departed from).
+    """
+
+    metric: str
+    index: int
+    start: int
+    value: float
+    baseline: float
+    zscore: float
+    direction: str
+
+    def describe(self) -> str:
+        """One-line human rendering, used by the CLI and report."""
+        verb = "collapsed" if self.direction == "drop" else "jumped"
+        return (
+            f"{self.metric} {verb} at window {self.index} "
+            f"(event {self.start}): {self.value:.4g} vs baseline "
+            f"{self.baseline:.4g} (z={self.zscore:+.1f})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "index": self.index,
+            "start": self.start,
+            "value": self.value,
+            "baseline": self.baseline,
+            "zscore": self.zscore,
+            "direction": self.direction,
+        }
+
+
+class DriftDetector:
+    """Streaming rolling-mean / EWMA z-score change-point detector.
+
+    Feed one value per window with :meth:`update`; a non-None return is
+    the ``(zscore, direction)`` of a change point at that window.  The
+    detector is deliberately streaming (O(history) state) so ``repro
+    top`` can run it live against a replay in progress.
+
+    Parameters
+    ----------
+    history:
+        Rolling-baseline length in windows.  Also the warmup: no
+        alerts fire until the baseline holds ``history`` values.
+    threshold:
+        Z-score magnitude that constitutes drift.
+    alpha:
+        EWMA smoothing factor in (0, 1]; 1 disables smoothing and
+        tests raw window values.
+    min_std:
+        Standard-deviation floor: the baseline std is clamped to
+        ``min_std * max(|mean|, 1)`` so stationary stretches do not
+        alert on noise (and a zero-mean baseline cannot produce
+        unbounded z-scores).  The floor scales with the baseline for
+        large-valued series and is absolute (``min_std``) for series
+        living in [0, 1] like hit ratios.
+    """
+
+    def __init__(
+        self,
+        history: int = 8,
+        threshold: float = 4.0,
+        alpha: float = 0.3,
+        min_std: float = 0.02,
+    ):
+        if history < 2:
+            raise AnalysisError(f"history must be >= 2, got {history}")
+        if threshold <= 0:
+            raise AnalysisError(f"threshold must be > 0, got {threshold}")
+        if not 0.0 < alpha <= 1.0:
+            raise AnalysisError(f"alpha must be in (0, 1], got {alpha}")
+        if min_std <= 0:
+            raise AnalysisError(f"min_std must be > 0, got {min_std}")
+        self.history = history
+        self.threshold = threshold
+        self.alpha = alpha
+        self.min_std = min_std
+        self._values: List[float] = []
+        self._ewma: Optional[float] = None
+        #: The EWMA value tested by the most recent :meth:`update` —
+        #: survives the post-alert reset, so alert reporters can show
+        #: the value that actually tripped the threshold.
+        self.last_smoothed: Optional[float] = None
+
+    def update(self, value: float) -> Optional[Tuple[float, str]]:
+        """Observe one window; returns ``(zscore, direction)`` on drift."""
+        if self._ewma is None:
+            smoothed = float(value)
+        else:
+            smoothed = self.alpha * float(value) + (1 - self.alpha) * self._ewma
+        self._ewma = smoothed
+        self.last_smoothed = smoothed
+        baseline = self._values
+        if len(baseline) >= self.history:
+            mean = sum(baseline) / len(baseline)
+            variance = sum((v - mean) ** 2 for v in baseline) / len(baseline)
+            std = max(math.sqrt(variance), self.min_std * max(abs(mean), 1.0))
+            zscore = (smoothed - mean) / std
+            if abs(zscore) >= self.threshold:
+                # Adopt the new regime: restart the baseline (and the
+                # smoother) from this window so the detector reports
+                # the change once, not on every window that follows.
+                self._values = [float(value)]
+                self._ewma = float(value)
+                return zscore, ("drop" if zscore < 0 else "rise")
+        baseline.append(float(value))
+        if len(baseline) > self.history:
+            baseline.pop(0)
+        return None
+
+    @property
+    def baseline_mean(self) -> Optional[float]:
+        """Current rolling-baseline mean (None during warmup)."""
+        if len(self._values) < self.history:
+            return None
+        return sum(self._values) / len(self._values)
+
+
+def detect_level_shifts(
+    series: Sequence[float],
+    history: int = 8,
+    threshold: float = 4.0,
+    alpha: float = 0.3,
+    min_std: float = 0.02,
+) -> List[Tuple[int, float, str]]:
+    """Change points of a plain series as ``(position, zscore, direction)``.
+
+    The low-level primitive behind :func:`detect_drift`, exposed for
+    callers with series that are not :class:`WindowSample` streams.
+    """
+    detector = DriftDetector(
+        history=history, threshold=threshold, alpha=alpha, min_std=min_std
+    )
+    shifts: List[Tuple[int, float, str]] = []
+    for position, value in enumerate(series):
+        hit = detector.update(value)
+        if hit is not None:
+            zscore, direction = hit
+            shifts.append((position, zscore, direction))
+    return shifts
+
+
+def detect_drift(
+    samples: Sequence,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    history: int = 8,
+    threshold: float = 4.0,
+    alpha: float = 0.3,
+    min_std: float = 0.02,
+) -> List[DriftAlert]:
+    """Drift alerts over a replay's :class:`WindowSample` sequence.
+
+    Runs one independent :class:`DriftDetector` per metric (each metric
+    has its own regime structure) over the ``source="replay"`` samples
+    and merges the alerts in window order.  Samples where a metric is
+    ``None`` (e.g. entropy of a sub-2-event window) are skipped for
+    that metric without disturbing its detector state.
+    """
+    detectors = {
+        metric: DriftDetector(
+            history=history, threshold=threshold, alpha=alpha, min_std=min_std
+        )
+        for metric in metrics
+    }
+    alerts: List[DriftAlert] = []
+    for sample in samples:
+        if getattr(sample, "source", "replay") != "replay":
+            continue
+        for metric, detector in detectors.items():
+            value = getattr(sample, metric, None)
+            if value is None:
+                continue
+            mean = detector.baseline_mean
+            hit = detector.update(float(value))
+            if hit is None:
+                continue
+            zscore, direction = hit
+            alerts.append(
+                DriftAlert(
+                    metric=metric,
+                    index=sample.index,
+                    start=sample.start,
+                    value=float(
+                        detector.last_smoothed
+                        if detector.last_smoothed is not None
+                        else value
+                    ),
+                    baseline=mean if mean is not None else float(value),
+                    zscore=zscore,
+                    direction=direction,
+                )
+            )
+    alerts.sort(key=lambda alert: (alert.index, alert.metric))
+    return alerts
+
+
+def drift_rows(alerts: Sequence[DriftAlert]) -> List[Dict[str, Any]]:
+    """Alerts as flat table rows for :func:`repro.cli.rows_to_markdown`."""
+    return [
+        {
+            "metric": alert.metric,
+            "window": alert.index,
+            "event": alert.start,
+            "direction": alert.direction,
+            "value": f"{alert.value:.4g}",
+            "baseline": f"{alert.baseline:.4g}",
+            "z": f"{alert.zscore:+.1f}",
+        }
+        for alert in alerts
+    ]

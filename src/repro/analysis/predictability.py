@@ -36,12 +36,21 @@ def entropy_timeline(
 
     Returns ``(window_start_event, entropy_bits)`` samples.  ``stride``
     defaults to the window size (non-overlapping windows); smaller
-    strides smooth the timeline at proportional cost.
+    strides smooth the timeline at proportional cost, and strides
+    larger than the window sample disjoint excerpts (gaps between
+    windows are skipped, never measured).
+
+    Edge cases are defined, not errors: a trace shorter than one
+    window yields a single sample over whatever is there (the sample's
+    window is simply truncated), and a trace too short to contain even
+    one successor pair (fewer than 2 events) yields no samples.
     """
     if window <= 1:
         raise AnalysisError(f"window must exceed 1, got {window}")
     if stride < 0:
         raise AnalysisError(f"stride must be non-negative, got {stride}")
+    if len(sequence) < 2:
+        return []
     step = stride or window
     samples: List[Tuple[int, float]] = []
     for start in range(0, max(len(sequence) - window + 1, 1), step):

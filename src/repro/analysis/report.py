@@ -133,6 +133,12 @@ def provenance_rows(
                 group_size=group_size,
             )
             system.replay(trace)
+        if len(trace) and not sum(recorder.emitted.values()):
+            # The recorder saw nothing from a non-empty replay: metric
+            # collection was disabled underneath it, so an all-zero row
+            # would be a lie.  Dash the row; the section adds a note.
+            rows.append([workload, "-", "-", "-", "-", "-"])
+            continue
         opens = hits = demand = installs = used = 0
         for summary in recorder.summary():
             opens += summary["opens"]
@@ -156,6 +162,7 @@ def provenance_rows(
 
 def _provenance_section(events: int) -> str:
     """The ``--explain`` report section: traced prefetch provenance."""
+    rows = provenance_rows(events=events)
     parts = [
         "## Prefetch provenance (traced replays)",
         "",
@@ -166,7 +173,91 @@ def _provenance_section(events: int) -> str:
         "prefetches against everything shipped — with whole-file "
         "transfers this is the wasted-bytes share.",
         "",
-        rows_to_markdown(provenance_rows(events=events)),
+        rows_to_markdown(rows),
+        "",
+    ]
+    if any(row[1] == "-" for row in rows[1:]):
+        parts.append(
+            "*Dashed rows: metric collection was disabled during the "
+            "traced replay, so no provenance was recorded for that "
+            "workload — re-run with observability enabled.*"
+        )
+        parts.append("")
+    return "\n".join(parts)
+
+
+def workload_drift_rows(
+    events: int = 20_000,
+    workloads: Sequence[str] = PROVENANCE_WORKLOADS,
+    window: int = 1000,
+    client_capacity: int = 250,
+    server_capacity: int = 300,
+    group_size: int = 5,
+    history: int = 8,
+    threshold: float = 4.0,
+) -> List[List[str]]:
+    """Per-workload drift-alert table from windowed replays.
+
+    Each workload is replayed with windowed telemetry on, the hit-ratio
+    and entropy series run through :func:`repro.analysis.drift.detect_drift`,
+    and every alert becomes a row.  A workload with no alerts gets one
+    ``steady`` row — the expected answer for the stationary synthetic
+    catalog, and the baseline against which a flagged production trace
+    stands out.
+    """
+    from ..obs import windowing
+    from ..sim.engine import DistributedFileSystem
+    from ..workloads.synthetic import make_workload
+    from .drift import detect_drift
+
+    rows: List[List[str]] = [
+        ["workload", "windows", "metric", "window", "event", "shift", "z"]
+    ]
+    for workload in workloads:
+        trace = make_workload(workload, events)
+        system = DistributedFileSystem(
+            client_capacity=client_capacity,
+            server_capacity=server_capacity,
+            group_size=group_size,
+        )
+        with windowing(window=window) as collector:
+            system.replay(trace)
+        windows = str(len(collector.samples))
+        alerts = detect_drift(
+            collector.samples, history=history, threshold=threshold
+        )
+        if not alerts:
+            rows.append([workload, windows, "-", "-", "-", "steady", "-"])
+            continue
+        for alert in alerts:
+            rows.append(
+                [
+                    workload,
+                    windows,
+                    alert.metric,
+                    str(alert.index),
+                    str(alert.start),
+                    alert.direction,
+                    f"{alert.zscore:+.1f}",
+                ]
+            )
+    return rows
+
+
+def _drift_section(events: int) -> str:
+    """The ``--drift`` report section: per-workload change points."""
+    parts = [
+        "## Workload drift (windowed telemetry)",
+        "",
+        "Each workload replayed with windowed time-series telemetry "
+        "(`repro.obs.windowing`); the hit-ratio and successor-entropy "
+        "series are scanned by the rolling-mean/EWMA z-score detector "
+        "(`repro drift`).  `steady` means no change point crossed the "
+        "threshold — the expected answer for the stationary synthetic "
+        "catalog; alerts are event-indexed so a flagged window can be "
+        "cross-examined with `repro explain`.",
+        "",
+        rows_to_markdown(workload_drift_rows(events=events)),
         "",
     ]
     return "\n".join(parts)
@@ -178,12 +269,14 @@ def build_report(
     sections: Optional[Sequence[Tuple[str, SectionBuilder]]] = None,
     progress: Optional[Callable[[str], None]] = None,
     explain: bool = False,
+    drift: bool = False,
 ) -> str:
     """Regenerate the evaluation and return the Markdown text.
 
     ``sections`` overrides the standard list (pairs of id + builder);
     ``progress`` receives each section id as it starts; ``explain``
-    appends the traced prefetch-provenance section.
+    appends the traced prefetch-provenance section; ``drift`` appends
+    the per-workload change-point section from windowed telemetry.
     """
     if events <= 0:
         raise AnalysisError(f"events must be positive, got {events}")
@@ -217,6 +310,11 @@ def build_report(
             progress("provenance")
         buffer.write(_provenance_section(events))
         buffer.write("\n")
+    if drift:
+        if progress is not None:
+            progress("drift")
+        buffer.write(_drift_section(events))
+        buffer.write("\n")
     return buffer.getvalue()
 
 
@@ -227,6 +325,7 @@ def write_report(
     sections: Optional[Sequence[Tuple[str, SectionBuilder]]] = None,
     progress: Optional[Callable[[str], None]] = None,
     explain: bool = False,
+    drift: bool = False,
 ) -> Path:
     """Build the report and write it to ``destination``; returns the path."""
     path = Path(destination)
@@ -237,6 +336,7 @@ def write_report(
             sections=sections,
             progress=progress,
             explain=explain,
+            drift=drift,
         ),
         encoding="utf-8",
     )

@@ -13,6 +13,8 @@ is usable standalone::
     repro profile --workload users        # predictability tooling
     repro metrics --workload server       # observability snapshot (JSONL)
     repro explain --workload server       # traced replay: why hits/misses
+    repro top --workload server           # live windowed-telemetry dashboard
+    repro drift --workload server         # change-point scan of the series
     repro graph --workload server         # relationship-graph inspection
     repro workloads [name]                # the synthetic workload catalog
     repro report --out report.md          # regenerate everything
@@ -285,10 +287,13 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     This is the observability layer end-to-end: the replay runs inside
     :func:`repro.obs.collecting`, the hot components record into the
     registry, and the snapshot is printed as tables (and written as
-    JSONL with ``--out``).
+    JSONL with ``--out``).  ``--window N`` additionally records the
+    windowed time-series (``--ts-out`` exports it as ``repro.ts/1``).
     """
+    from contextlib import nullcontext
+
     from .caching import POLICIES, make_cache
-    from .obs import collecting, write_jsonl
+    from .obs import collecting, windowing, write_jsonl, write_ts_jsonl
     from .sim.engine import DistributedFileSystem
 
     baselines = [name for name in args.baselines.split(",") if name]
@@ -302,7 +307,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         )
 
     trace = make_workload(args.workload, args.events, args.seed)
-    with collecting() as registry:
+    ts_context = windowing(window=args.window) if args.window else nullcontext()
+    with collecting() as registry, ts_context as collector:
         system = DistributedFileSystem(
             client_capacity=args.client_capacity,
             server_capacity=args.server_capacity,
@@ -347,26 +353,67 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     if baselines:
         counters = snapshot["counters"]
-
-        def _policy_row(label: str, prefix: str) -> List[str]:
-            hits = counters.get(f"{prefix}.hits", 0)
-            misses = counters.get(f"{prefix}.misses", 0)
-            evictions = counters.get(f"{prefix}.evictions", 0)
-            opens = hits + misses
-            rate = f"{hits / opens:.3f}" if opens else "-"
-            return [label, rate, str(hits), str(misses), str(evictions)]
-
-        compare_rows = [["policy", "hit rate", "hits", "misses", "evictions"]]
-        compare_rows.append(
-            _policy_row(f"aggregating system (g={args.group_size})", "cache.lru")
-        )
-        for name in baselines:
-            compare_rows.append(
-                _policy_row(f"baseline {name}", f"cache.baseline.{name}")
+        if not any(name.startswith("cache.") for name in counters):
+            # An all-zero comparison table would silently masquerade as
+            # "every policy missed everything"; say what happened.
+            print(
+                "\nno cache.* counters were recorded — metric collection "
+                "was disabled\nduring the replay, so the baseline "
+                "comparison table is unavailable."
             )
-        print("\nbaseline vs aggregating (from obs counters; system row sums")
-        print("client + server caches, so its hit rate is not one cache's):\n")
-        print(rows_to_markdown(compare_rows))
+        else:
+
+            def _policy_row(label: str, prefix: str) -> List[str]:
+                hits = counters.get(f"{prefix}.hits", 0)
+                misses = counters.get(f"{prefix}.misses", 0)
+                evictions = counters.get(f"{prefix}.evictions", 0)
+                opens = hits + misses
+                rate = f"{hits / opens:.3f}" if opens else "-"
+                return [label, rate, str(hits), str(misses), str(evictions)]
+
+            compare_rows = [["policy", "hit rate", "hits", "misses", "evictions"]]
+            compare_rows.append(
+                _policy_row(f"aggregating system (g={args.group_size})", "cache.lru")
+            )
+            for name in baselines:
+                compare_rows.append(
+                    _policy_row(f"baseline {name}", f"cache.baseline.{name}")
+                )
+            print("\nbaseline vs aggregating (from obs counters; system row sums")
+            print("client + server caches, so its hit rate is not one cache's):\n")
+            print(rows_to_markdown(compare_rows))
+
+    if args.window and collector is not None:
+        from .analysis.ascii_chart import render_sparkline
+
+        hit_series = collector.series("hit_ratio")
+        entropy_series = collector.series("entropy")
+        print(
+            f"\nwindowed series: {len(collector.samples)} windows of "
+            f"{args.window} events"
+        )
+        if hit_series:
+            print(
+                f"  hit ratio  {render_sparkline(hit_series)}  "
+                f"last {hit_series[-1]:.3f}"
+            )
+        if entropy_series:
+            print(
+                f"  entropy    {render_sparkline(entropy_series)}  "
+                f"last {entropy_series[-1]:.3f} bits"
+            )
+        if args.ts_out is not None:
+            lines = write_ts_jsonl(
+                collector,
+                args.ts_out,
+                meta={
+                    "workload": args.workload,
+                    "events": args.events,
+                    "seed": args.seed,
+                    "group_size": args.group_size,
+                },
+            )
+            print(f"wrote {lines} repro.ts/1 JSONL lines to {args.ts_out}")
 
     timer = PerfTimer()
     timer.add("replay", seconds, len(trace))
@@ -486,6 +533,288 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+class _TopDashboard:
+    """Live terminal rendering for ``repro top``.
+
+    On a tty, redraws in place with ANSI cursor movement; off a tty (or
+    with ``--plain``) it emits one append-only line per sample, so logs
+    and tests see the same information without control codes.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        total: int,
+        plain: bool,
+        workers: int = 0,
+        stream=None,
+    ):
+        self.title = title
+        self.total = total
+        self.plain = plain or not (stream or sys.stdout).isatty()
+        self.workers = workers
+        self.stream = stream if stream is not None else sys.stdout
+        self.hit_ratio: List[float] = []
+        self.throughput: List[float] = []
+        self.entropy: List[float] = []
+        self.lanes: List[int] = [0] * workers if workers else []
+        self.done = 0
+        self.elapsed = 0.0
+        self._started = time.perf_counter()
+        self._drawn = 0
+
+    def on_sample(self, sample) -> None:
+        """Collector ``on_sample`` hook: fold one sample in and redraw."""
+        self.done += 1
+        self.elapsed = time.perf_counter() - self._started
+        if sample.source == "replay":
+            self.hit_ratio.append(sample.hit_ratio)
+            self.throughput.append(sample.events_per_sec)
+            if sample.entropy is not None:
+                self.entropy.append(sample.entropy)
+        else:
+            if self.lanes:
+                # Submission order round-robins over the pool, so point
+                # index mod workers is the point's lane.
+                self.lanes[sample.start % self.workers] += 1
+        if self.plain:
+            self.stream.write(self._plain_line(sample) + "\n")
+            self.stream.flush()
+        else:
+            self._redraw()
+
+    def _plain_line(self, sample) -> str:
+        if sample.source == "replay":
+            entropy = (
+                f"  H={sample.entropy:.3f}" if sample.entropy is not None else ""
+            )
+            return (
+                f"window {sample.index + 1}/{self.total}  "
+                f"hit={sample.hit_ratio:.3f}  "
+                f"ev/s={sample.events_per_sec:,.0f}{entropy}"
+            )
+        return (
+            f"point {self.done}/{self.total}  {sample.label}  "
+            f"{sample.seconds:.2f}s"
+        )
+
+    def _lines(self) -> List[str]:
+        from .analysis.ascii_chart import render_sparkline
+
+        width = 48
+        lines = [f"repro top — {self.title}"]
+        if self.hit_ratio:
+            lines.append(
+                f"  hit ratio  {render_sparkline(self.hit_ratio[-width:]):<{width}} "
+                f"{self.hit_ratio[-1]:.3f}"
+            )
+        if self.throughput:
+            lines.append(
+                f"  events/s   {render_sparkline(self.throughput[-width:]):<{width}} "
+                f"{self.throughput[-1]:,.0f}"
+            )
+        if self.entropy:
+            lines.append(
+                f"  entropy    {render_sparkline(self.entropy[-width:]):<{width}} "
+                f"{self.entropy[-1]:.3f} bits"
+            )
+        for lane, count in enumerate(self.lanes):
+            share = count / self.total if self.total else 0.0
+            bar = "#" * int(share * width)
+            lines.append(f"  worker {lane}   {bar:<{width}} {count} pts")
+        fraction = self.done / self.total if self.total else 1.0
+        bar = "#" * int(fraction * width)
+        lines.append(
+            f"  progress   [{bar:<{width}}] {self.done}/{self.total}  "
+            f"{self.elapsed:5.1f}s"
+        )
+        return lines
+
+    def _redraw(self) -> None:
+        lines = self._lines()
+        out = self.stream
+        if self._drawn:
+            out.write(f"\x1b[{self._drawn}F")  # to start of first drawn line
+        for line in lines:
+            out.write(f"\x1b[2K{line}\n")
+        self._drawn = len(lines)
+        out.flush()
+
+    def finish(self) -> None:
+        """Leave a final, complete frame on screen (tty mode only)."""
+        if not self.plain:
+            self._redraw()
+
+
+def _parse_listen(value: str):
+    """Parse a ``HOST:PORT`` listen spec (host optional)."""
+    host, separator, port = value.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ReproError(
+            f"--listen expects HOST:PORT (got {value!r}); use :0 for a "
+            f"free port on localhost"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live windowed-telemetry dashboard over a replay or a sweep.
+
+    Replay mode drives one distributed system through the trace window
+    by window; ``--sweep`` instead watches a ``fig3``-style parameter
+    sweep point by point (``--workers N`` fans it out, and the dashboard
+    shows one lane per worker).  ``--listen HOST:PORT`` additionally
+    serves the live series as Prometheus text from ``/metrics``.
+    """
+    from .obs import WindowedCollector, serve_metrics, set_collector, write_ts_jsonl
+    from .sim.engine import DistributedFileSystem
+
+    if args.sweep:
+        from functools import partial
+
+        from .experiments.fig3 import FIG3_CAPACITIES, FIG3_GROUP_SIZES
+        from .experiments.fig3 import fig3_point
+        from .sim.sweep import SweepGrid, run_sweep
+
+        grid = (
+            SweepGrid()
+            .add_axis("capacity", FIG3_CAPACITIES)
+            .add_axis("group_size", FIG3_GROUP_SIZES)
+        )
+        total = len(grid)
+        title = (
+            f"fig3 sweep on {args.workload}, {total} points, "
+            f"workers {args.workers}"
+        )
+        dashboard = _TopDashboard(
+            title, total, args.plain, workers=max(args.workers, 1)
+        )
+        collector = WindowedCollector(
+            window=args.window, on_sample=dashboard.on_sample
+        )
+        server = None
+        if args.listen:
+            host, port = _parse_listen(args.listen)
+            server = serve_metrics(collector, host, port)
+            print(f"serving live metrics at {server.url}", file=sys.stderr)
+        previous = set_collector(collector)
+        try:
+            run_sweep(
+                grid,
+                partial(
+                    fig3_point,
+                    workload=args.workload,
+                    events=args.events,
+                    seed=args.seed,
+                ),
+                workers=args.workers,
+            )
+        finally:
+            set_collector(previous)
+            if server is not None:
+                server.close()
+        dashboard.finish()
+    else:
+        trace = make_workload(args.workload, args.events, args.seed)
+        total = (len(trace) + args.window - 1) // args.window
+        title = (
+            f"{args.workload} replay, {len(trace)} events, "
+            f"window {args.window}"
+        )
+        dashboard = _TopDashboard(title, total, args.plain)
+        collector = WindowedCollector(
+            window=args.window, on_sample=dashboard.on_sample
+        )
+        system = DistributedFileSystem(
+            client_capacity=args.client_capacity,
+            server_capacity=args.server_capacity,
+            group_size=args.group_size,
+        )
+        server = None
+        if args.listen:
+            host, port = _parse_listen(args.listen)
+            server = serve_metrics(collector, host, port)
+            print(f"serving live metrics at {server.url}", file=sys.stderr)
+        previous = set_collector(collector)
+        try:
+            system.replay(trace)
+        finally:
+            set_collector(previous)
+            if server is not None:
+                server.close()
+        dashboard.finish()
+    if args.ts_out is not None:
+        lines = write_ts_jsonl(
+            collector,
+            args.ts_out,
+            meta={
+                "workload": args.workload,
+                "events": args.events,
+                "seed": args.seed,
+                "mode": "sweep" if args.sweep else "replay",
+            },
+        )
+        print(f"wrote {lines} repro.ts/1 JSONL lines to {args.ts_out}")
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    """Change-point scan of a windowed series; exit 2 on drift if asked.
+
+    With a positional ``series`` path, scans an existing ``repro.ts/1``
+    export; otherwise replays the chosen workload with windowing on and
+    scans the fresh series.  Alerts are event-indexed, so a flagged
+    window can be cross-examined with ``repro explain``.
+    """
+    from .analysis.drift import detect_drift, drift_rows
+    from .obs import load_ts_jsonl, windowing
+
+    metrics = [name for name in args.metrics.split(",") if name]
+    if args.series is not None:
+        loaded = load_ts_jsonl(args.series)
+        samples = loaded["samples"]
+        origin = str(args.series)
+    else:
+        from .sim.engine import DistributedFileSystem
+
+        trace = make_workload(args.workload, args.events, args.seed)
+        system = DistributedFileSystem(
+            client_capacity=args.client_capacity,
+            server_capacity=args.server_capacity,
+            group_size=args.group_size,
+        )
+        with windowing(window=args.window) as collector:
+            system.replay(trace)
+        samples = collector.samples
+        origin = f"{args.workload} ({len(trace)} events, window {args.window})"
+
+    replay_windows = sum(1 for s in samples if s.source == "replay")
+    alerts = detect_drift(
+        samples,
+        metrics=metrics,
+        history=args.history,
+        threshold=args.threshold,
+        alpha=args.alpha,
+    )
+    print(
+        f"scanned {replay_windows} windows of {origin} for "
+        f"{', '.join(metrics)} drift (history {args.history}, "
+        f"z >= {args.threshold:g})\n"
+    )
+    if not alerts:
+        print("no drift detected: the series is steady at this threshold")
+        return 0
+    header = ["metric", "window", "event", "direction", "value", "baseline", "z"]
+    rows = [header] + [
+        [str(row[key]) for key in header] for row in drift_rows(alerts)
+    ]
+    print(rows_to_markdown(rows))
+    print()
+    for alert in alerts:
+        print(f"  - {alert.describe()}")
+    return 2 if args.fail_on_drift else 0
+
+
 def _cmd_adaptation(args: argparse.Namespace) -> int:
     figure = run_adaptation(workload=args.workload, events=args.events, seed=args.seed)
     _emit_figure(figure, args)
@@ -535,6 +864,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         events=args.events,
         charts=not args.no_charts,
         explain=args.explain,
+        drift=args.drift,
         progress=progress,
     )
     print(f"wrote full evaluation report to {path}")
@@ -749,6 +1079,18 @@ def build_parser() -> argparse.ArgumentParser:
             "the aggregating system for a counter-backed comparison table"
         ),
     )
+    metrics.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="also record a windowed time-series at this resolution (events)",
+    )
+    metrics.add_argument(
+        "--ts-out",
+        type=Path,
+        default=None,
+        help="write the windowed series as repro.ts/1 JSONL (needs --window)",
+    )
     metrics.set_defaults(handler=_cmd_metrics)
 
     explain = subparsers.add_parser(
@@ -817,6 +1159,140 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.set_defaults(handler=_cmd_explain)
 
+    top = subparsers.add_parser(
+        "top",
+        help=(
+            "live windowed-telemetry dashboard: sparkline hit ratio, "
+            "throughput, and entropy over a replay (or --sweep)"
+        ),
+    )
+    top.add_argument(
+        "--workload",
+        default="server",
+        choices=sorted(WORKLOADS),
+        help="workload to replay (default: server)",
+    )
+    top.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENTS,
+        help=f"trace length in accesses (default: {DEFAULT_EVENTS})",
+    )
+    top.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    top.add_argument(
+        "--window", type=int, default=2000, help="telemetry window (events)"
+    )
+    top.add_argument(
+        "--client-capacity", type=int, default=250, help="client cache capacity"
+    )
+    top.add_argument(
+        "--server-capacity", type=int, default=300, help="server cache capacity"
+    )
+    top.add_argument(
+        "--group-size", type=int, default=5, help="aggregating group size g"
+    )
+    top.add_argument(
+        "--sweep",
+        action="store_true",
+        help="watch a fig3 parameter sweep instead of a single replay",
+    )
+    top.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --sweep (one dashboard lane per worker)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append-only output (no ANSI redraw); implied off a terminal",
+    )
+    top.add_argument(
+        "--listen",
+        default="",
+        help="serve live Prometheus text on HOST:PORT/metrics (:0 = free port)",
+    )
+    top.add_argument(
+        "--ts-out",
+        type=Path,
+        default=None,
+        help="also write the series as repro.ts/1 JSONL when done",
+    )
+    top.set_defaults(handler=_cmd_top)
+
+    drift = subparsers.add_parser(
+        "drift",
+        help=(
+            "change-point scan of a windowed series: flags hit-ratio "
+            "collapses and entropy regime shifts with event indexes"
+        ),
+    )
+    drift.add_argument(
+        "series",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="existing repro.ts/1 JSONL to scan (default: replay a workload)",
+    )
+    drift.add_argument(
+        "--workload",
+        default="server",
+        choices=sorted(WORKLOADS),
+        help="workload to replay when no series file is given",
+    )
+    drift.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENTS,
+        help=f"trace length in accesses (default: {DEFAULT_EVENTS})",
+    )
+    drift.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    drift.add_argument(
+        "--window", type=int, default=2000, help="telemetry window (events)"
+    )
+    drift.add_argument(
+        "--client-capacity", type=int, default=250, help="client cache capacity"
+    )
+    drift.add_argument(
+        "--server-capacity", type=int, default=300, help="server cache capacity"
+    )
+    drift.add_argument(
+        "--group-size", type=int, default=5, help="aggregating group size g"
+    )
+    drift.add_argument(
+        "--metrics",
+        default="hit_ratio,entropy",
+        help="comma-separated sample metrics to scan (default: hit_ratio,entropy)",
+    )
+    drift.add_argument(
+        "--history",
+        type=int,
+        default=8,
+        help="rolling-baseline length in windows (also the warmup)",
+    )
+    drift.add_argument(
+        "--threshold",
+        type=float,
+        default=4.0,
+        help="z-score magnitude that constitutes drift",
+    )
+    drift.add_argument(
+        "--alpha",
+        type=float,
+        default=0.3,
+        help="EWMA smoothing factor in (0, 1]; 1 tests raw window values",
+    )
+    drift.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit with status 2 when any alert fires (for CI gates)",
+    )
+    drift.set_defaults(handler=_cmd_drift)
+
     adaptation = subparsers.add_parser(
         "adaptation", help="hit rate across an abrupt workload shift"
     )
@@ -859,6 +1335,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "append the prefetch-provenance section (per-workload prefetch "
             "efficiency and wasted-fetch share from traced replays)"
+        ),
+    )
+    report.add_argument(
+        "--drift",
+        action="store_true",
+        help=(
+            "append the workload-drift section (change-point scan of each "
+            "workload's windowed hit-ratio and entropy series)"
         ),
     )
     report.set_defaults(handler=_cmd_report)

@@ -22,9 +22,26 @@ question ("why did this open miss?"): a ring-buffered flight recorder
 of typed records with prefetch-provenance accounting, activated with
 :func:`recording` and exported as ``repro.trace/1`` JSONL or Chrome
 trace-event JSON.
+
+The :mod:`~repro.obs.timeseries` sibling answers the over-time
+question ("when did the hit ratio collapse?"): windowed telemetry
+streamed during replays and sweeps, activated with :func:`windowing`
+and exported as ``repro.ts/1`` JSONL or Prometheus/OpenMetrics text
+(optionally served live from a stdlib ``/metrics`` endpoint)::
+
+    with obs.windowing(window=2000) as collector:
+        system.replay(trace)
+    obs.write_ts_jsonl(collector, "results/series.jsonl")
 """
 
-from .export import SCHEMA, dump_jsonl, load_jsonl, snapshot_records, write_jsonl
+from .export import (
+    SCHEMA,
+    TS_SCHEMA,
+    dump_jsonl,
+    load_jsonl,
+    snapshot_records,
+    write_jsonl,
+)
 from .registry import (
     DEFAULT_BOUNDS,
     Counter,
@@ -38,6 +55,21 @@ from .registry import (
     enabled,
     get_registry,
     set_registry,
+)
+from .timeseries import (
+    MetricsServer,
+    WindowedCollector,
+    WindowSample,
+    dump_ts_jsonl,
+    get_collector,
+    load_ts_jsonl,
+    prometheus_text,
+    serve_metrics,
+    set_collector,
+    ts_records,
+    windowed_replay,
+    windowing,
+    write_ts_jsonl,
 )
 from .tracing import (
     TRACE_SCHEMA,
@@ -54,6 +86,20 @@ from .tracing import (
 __all__ = [
     "SCHEMA",
     "TRACE_SCHEMA",
+    "TS_SCHEMA",
+    "MetricsServer",
+    "WindowSample",
+    "WindowedCollector",
+    "dump_ts_jsonl",
+    "get_collector",
+    "load_ts_jsonl",
+    "prometheus_text",
+    "serve_metrics",
+    "set_collector",
+    "ts_records",
+    "windowed_replay",
+    "windowing",
+    "write_ts_jsonl",
     "FlightRecorder",
     "chrome_trace",
     "load_trace_jsonl",

@@ -6,6 +6,15 @@ without parsing a whole document, and successive snapshots of the same
 run concatenate naturally.  The first line of every snapshot is a
 ``meta`` record carrying the schema tag, so readers can reject foreign
 files early.
+
+This module anchors the whole ``repro.*`` JSONL schema family: the
+registry snapshot schema (:data:`SCHEMA`, ``repro.obs/1``) lives here,
+the windowed time-series schema (:data:`TS_SCHEMA`, ``repro.ts/1``) is
+defined here and implemented by :mod:`repro.obs.timeseries`, and the
+flight-recorder schema (``repro.trace/1``) by :mod:`repro.obs.tracing`.
+All three share the same contract: a ``meta`` first line carrying the
+tag, one record per line after it, and loaders that reject anything
+off-vocabulary with :class:`ObservabilityError`.
 """
 
 from __future__ import annotations
@@ -18,6 +27,9 @@ from .registry import MetricsRegistry, ObservabilityError
 
 #: Schema tag stamped on (and demanded from) every snapshot.
 SCHEMA = "repro.obs/1"
+
+#: Schema tag for windowed time-series exports (see ``obs.timeseries``).
+TS_SCHEMA = "repro.ts/1"
 
 Pathish = Union[str, Path]
 

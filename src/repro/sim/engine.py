@@ -37,6 +37,7 @@ from ..core.grouping import GroupBuilder, build_group_fast
 from ..core.successors import LRUSuccessorList, SuccessorTracker
 from ..errors import SimulationError
 from ..obs import registry as _obs
+from ..obs import timeseries as _ts
 from ..obs import tracing as _tracing
 from ..traces.events import EventKind, Trace
 from ..traces.symbols import SymbolTable, intern_sequence
@@ -573,7 +574,12 @@ class DistributedFileSystem:
             )
         return self.metrics()
 
-    def replay(self, trace: Trace, intern: bool = False) -> SystemMetrics:
+    def replay(
+        self,
+        trace: Trace,
+        intern: bool = False,
+        progress=None,
+    ) -> SystemMetrics:
         """Drive the system with a trace (events carry client ids).
 
         Every event is a demand access to its file (a write still needs
@@ -586,6 +592,32 @@ class DistributedFileSystem:
         contents are keyed by codes, so reserve it for metrics-only
         runs.  Configurations the specialized loop does not cover run
         the generic per-event path either way.
+
+        When windowed telemetry is active (:func:`repro.obs.windowing`),
+        the replay is driven window by window through the same loops and
+        one :class:`~repro.obs.timeseries.WindowSample` is recorded per
+        window — the single ``_ts.ACTIVE`` read below is the only cost
+        when it is not.  ``progress`` follows the shared
+        :func:`~repro.sim.progress.normalize_progress` contract and is
+        reported per window (windowed) or once up front (unwindowed).
+        """
+        if _ts.ACTIVE is not None:
+            return _ts.windowed_replay(self, trace, intern=intern, progress=progress)
+        if progress is not None:
+            from .progress import normalize_progress
+
+            notify = normalize_progress(progress)
+            if notify is not None:
+                notify(0, 1, {"window": 0, "start": 0}, 0.0)
+        return self._replay_trace(trace, intern)
+
+    def _replay_trace(self, trace: Trace, intern: bool) -> SystemMetrics:
+        """One uninterrupted replay pass (fast or generic, no windowing).
+
+        The windowed driver calls this per chunk; ``replay`` calls it
+        for the whole trace.  Fast-path eligibility is re-checked per
+        call, so a configuration change mid-windowed-run is honoured at
+        the next window boundary.
         """
         if self._fast_replay_ok():
             return self._replay_fast(trace, intern)

@@ -1,0 +1,102 @@
+"""Shared progress-callback plumbing for long-running drivers.
+
+The sweep runner and the windowed replay driver both report progress
+through the same callback shape::
+
+    progress(index, total, params, elapsed)
+
+where ``index``/``total`` count completed units (sweep points, replay
+windows), ``params`` identifies the unit (the grid point's parameters,
+or ``{"window": w, "start": event_index}``), and ``elapsed`` is wall
+seconds since the run started — enough for a front end to print an ETA.
+
+Two legacy shapes are still accepted so old callers keep working:
+
+* **3-argument** ``(index, total, params)`` — the historical sweep
+  signature, silently wrapped;
+* **2-argument** ``(index, total)`` — **deprecated**: accepted with a
+  :class:`DeprecationWarning`, and slated for removal once nothing
+  ships it.  New callbacks should accept all four arguments.
+
+:func:`normalize_progress` is the single adapter both drivers use
+(historically each carried its own arity shim; ``sim.sweep`` re-exports
+the helper for backwards compatibility).
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import ExperimentError
+
+#: The canonical callback shape: (index, total, params, elapsed seconds).
+ProgressCallback = Callable[[int, int, Dict[str, Any], float], None]
+
+
+def progress_arity(progress: Callable[..., None]) -> int:
+    """How many positional arguments a progress callback accepts.
+
+    Callbacks with ``*args`` (or unreadable signatures, e.g. some
+    builtins) are treated as accepting the full four-argument form.
+    Counts above four are capped at four — extra parameters must carry
+    defaults to be callable anyway.
+    """
+    try:
+        signature = inspect.signature(progress)
+    except (TypeError, ValueError):
+        return 4
+    count = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            count += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return 4
+    return min(count, 4)
+
+
+def normalize_progress(
+    progress: Optional[Callable[..., None]],
+) -> Optional[ProgressCallback]:
+    """Adapt any supported progress callback to the 4-argument form.
+
+    Returns ``None`` for ``None`` (callers guard on that instead of
+    calling a no-op), the callback itself when it already takes four
+    positional arguments, and a wrapping adapter for the legacy
+    3-argument ``(index, total, params)`` and deprecated 2-argument
+    ``(index, total)`` forms.  Anything narrower is an error — failing
+    at normalization beats a confusing ``TypeError`` mid-sweep.
+    """
+    if progress is None:
+        return None
+    arity = progress_arity(progress)
+    if arity >= 4:
+        return progress  # type: ignore[return-value]
+    if arity == 3:
+        legacy3 = progress
+
+        def notify3(index: int, total: int, params: Dict[str, Any], elapsed: float) -> None:
+            legacy3(index, total, params)
+
+        return notify3
+    if arity == 2:
+        warnings.warn(
+            "2-argument progress callbacks (index, total) are deprecated; "
+            "accept (index, total, params, elapsed) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        legacy2 = progress
+
+        def notify2(index: int, total: int, params: Dict[str, Any], elapsed: float) -> None:
+            legacy2(index, total)
+
+        return notify2
+    raise ExperimentError(
+        f"progress callback must accept at least (index, total); "
+        f"{progress!r} takes {arity} positional argument(s)"
+    )

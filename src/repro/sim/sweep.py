@@ -18,7 +18,6 @@ the serial path, so ``workers`` is always safe to pass.
 
 from __future__ import annotations
 
-import inspect
 import itertools
 import pickle
 import time
@@ -37,6 +36,8 @@ from typing import (
 
 from ..errors import ExperimentError
 from ..obs import registry as _obs
+from ..obs import timeseries as _ts
+from .progress import normalize_progress, progress_arity
 
 #: One result record: the parameter point plus measured values.
 Record = Dict[str, Any]
@@ -116,27 +117,9 @@ def _merge_record(
     return record
 
 
-def _progress_arity(progress: Callable[..., None]) -> int:
-    """How many positional arguments a progress callback accepts.
-
-    Legacy callbacks take ``(index, total, params)``; current ones also
-    take ``elapsed`` seconds so front ends can print ETA.  Callbacks
-    with ``*args`` (or unreadable signatures) get the full form.
-    """
-    try:
-        signature = inspect.signature(progress)
-    except (TypeError, ValueError):
-        return 4
-    count = 0
-    for parameter in signature.parameters.values():
-        if parameter.kind in (
-            inspect.Parameter.POSITIONAL_ONLY,
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-        ):
-            count += 1
-        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
-            return 4
-    return min(count, 4)
+#: Backwards-compatible alias — the arity shim now lives in
+#: :mod:`repro.sim.progress`, shared with the replay engine.
+_progress_arity = progress_arity
 
 
 def _is_picklable(run_point: Callable[..., Mapping[str, Any]]) -> bool:
@@ -158,6 +141,7 @@ def _run_serial(
     records: List[Record] = []
     total = len(points)
     record_metrics = _obs.ENABLED
+    collector = _ts.ACTIVE
     if record_metrics:
         registry = _obs.get_registry()
         observe_point = registry.histogram("sweep.point.ns").observe
@@ -169,6 +153,8 @@ def _run_serial(
         if record_metrics:
             observe_point(int(seconds * 1e9))
             point_counter.inc()
+        if collector is not None:
+            collector.record_point(index, params, measured, seconds)
         records.append(_merge_record(params, measured, seconds, timing))
     return records
 
@@ -186,6 +172,9 @@ def _run_parallel(
     total = len(points)
     records: List[Record] = []
     record_metrics = _obs.ENABLED
+    # Time-series samples are recorded here in the parent as each
+    # future is collected, so the series aggregates across workers.
+    collector = _ts.ACTIVE
     busy_seconds = 0.0
     used_workers = min(workers, total)
     if record_metrics:
@@ -206,6 +195,8 @@ def _run_parallel(
                 observe_point(int(seconds * 1e9))
                 point_counter.inc()
                 busy_seconds += seconds
+            if collector is not None:
+                collector.record_point(index, params, measured, seconds)
             records.append(_merge_record(params, measured, seconds, timing))
     if record_metrics:
         registry.gauge("sweep.workers.used").set(used_workers)
@@ -236,7 +227,14 @@ def run_sweep(
     ``progress`` is an optional callback ``(index, total, params,
     elapsed)`` invoked before each point is collected — the CLI uses it
     for status/ETA lines.  Three-argument callbacks (the historical
-    signature, without ``elapsed``) are still supported.
+    signature, without ``elapsed``) are still supported; two-argument
+    ``(index, total)`` callbacks are deprecated (see
+    :func:`repro.sim.progress.normalize_progress`).
+
+    When windowed telemetry is active (:func:`repro.obs.windowing`), one
+    ``source="sweep"`` sample is recorded per completed point — in the
+    parent process for both paths, so parallel runs aggregate across
+    workers.
 
     ``workers > 1`` evaluates points on a process pool.  ``run_point``
     must then be picklable (a module-level function, or a
@@ -249,16 +247,7 @@ def run_sweep(
     under :data:`POINT_SECONDS_KEY`.
     """
     points = grid.points()
-    notify: Optional[Callable[[int, int, Dict[str, Any], float], None]]
-    if progress is None:
-        notify = None
-    elif _progress_arity(progress) >= 4:
-        notify = progress
-    else:
-        legacy = progress
-        notify = lambda index, total, params, elapsed: legacy(
-            index, total, params
-        )
+    notify = normalize_progress(progress)
     started = time.perf_counter()
     record_metrics = _obs.ENABLED
     if record_metrics:

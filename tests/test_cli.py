@@ -224,3 +224,175 @@ class TestGraphAndReportCommands:
 
         args = build_parser().parse_args(["report", "--events", "2500"])
         assert callable(args.handler)
+
+    def test_report_drift_flag_registered(self):
+        args = build_parser().parse_args(["report", "--drift"])
+        assert args.drift is True
+
+
+class TestTimeseriesCommands:
+    def test_metrics_windowed_exports_ts_jsonl(self, capsys, tmp_path):
+        from repro.obs import load_ts_jsonl
+
+        path = tmp_path / "series.jsonl"
+        code = main(
+            [
+                "metrics",
+                "--workload",
+                "server",
+                "--events",
+                "3000",
+                "--window",
+                "500",
+                "--ts-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windowed series: 6 windows of 500 events" in out
+        assert "hit ratio" in out
+        assert f"wrote 7 repro.ts/1 JSONL lines to {path}" in out
+        loaded = load_ts_jsonl(path)
+        assert loaded["meta"]["workload"] == "server"
+        assert len(loaded["samples"]) == 6
+
+    def test_metrics_baselines_note_when_obs_disabled(self, capsys, monkeypatch):
+        # If the master switch never comes on, the baseline table would
+        # be all zeros; the command must say so instead.
+        from repro.obs import registry as obs_registry
+
+        monkeypatch.setattr(obs_registry, "enable", lambda: None)
+        code = main(
+            [
+                "metrics",
+                "--workload",
+                "server",
+                "--events",
+                "1000",
+                "--baselines",
+                "lru",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metric collection was disabled" in out
+        assert "baseline lru" not in out
+
+    def test_top_plain_replay(self, capsys, tmp_path):
+        path = tmp_path / "top.jsonl"
+        code = main(
+            [
+                "top",
+                "--workload",
+                "server",
+                "--events",
+                "3000",
+                "--window",
+                "1000",
+                "--plain",
+                "--ts-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window 1/3" in out
+        assert "window 3/3" in out
+        assert "hit=" in out
+        assert "ev/s=" in out
+        assert path.exists()
+
+    def test_top_sweep_plain_with_workers(self, capsys):
+        code = main(
+            [
+                "top",
+                "--sweep",
+                "--workers",
+                "2",
+                "--workload",
+                "server",
+                "--events",
+                "800",
+                "--plain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "point 1/48" in out
+        assert "point 48/48" in out
+        assert "group_size=" in out
+
+    def test_drift_steady_series(self, capsys, tmp_path):
+        path = tmp_path / "series.jsonl"
+        main(
+            [
+                "metrics",
+                "--workload",
+                "server",
+                "--events",
+                "3000",
+                "--window",
+                "500",
+                "--ts-out",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["drift", str(path), "--history", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scanned 6 windows" in out
+        assert "no drift detected" in out
+
+    def test_drift_fail_on_drift_exits_2(self, capsys, tmp_path):
+        from repro.obs import WindowSample, WindowedCollector, write_ts_jsonl
+
+        collector = WindowedCollector(window=100)
+        for index in range(16):
+            hits = 90 if index < 10 else 0
+            collector.append(
+                WindowSample(
+                    index=index,
+                    start=index * 100,
+                    events=100,
+                    hits=hits,
+                    misses=100 - hits,
+                )
+            )
+        path = tmp_path / "shift.jsonl"
+        write_ts_jsonl(collector, path)
+        code = main(
+            ["drift", str(path), "--history", "4", "--fail-on-drift"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "hit_ratio collapsed at window 10 (event 1000)" in out
+        assert "| hit_ratio |" in out
+
+    def test_drift_replay_mode(self, capsys):
+        code = main(
+            [
+                "drift",
+                "--workload",
+                "server",
+                "--events",
+                "3000",
+                "--window",
+                "500",
+                "--history",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scanned 6 windows of server" in out
+
+    def test_drift_rejects_bad_listen_free_of_charge(self):
+        from repro.cli import _parse_listen
+        from repro.errors import ReproError
+
+        assert _parse_listen(":0") == ("127.0.0.1", 0)
+        assert _parse_listen("0.0.0.0:9100") == ("0.0.0.0", 9100)
+        with pytest.raises(ReproError):
+            _parse_listen("9100")

@@ -1,0 +1,201 @@
+"""Unit tests for workload-drift detection over windowed telemetry."""
+
+import pytest
+
+from repro.analysis.drift import (
+    DriftAlert,
+    DriftDetector,
+    detect_drift,
+    detect_level_shifts,
+    drift_rows,
+)
+from repro.analysis.report import workload_drift_rows
+from repro.errors import AnalysisError
+from repro.obs import WindowSample, get_collector, set_collector, windowing
+from repro.sim.engine import DistributedFileSystem
+from repro.traces.events import Trace, TraceEvent
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_collector():
+    assert get_collector() is None
+    yield
+    set_collector(None)
+
+
+def phase_change_trace():
+    """A hot working set that abruptly becomes cache-hostile.
+
+    50 files under a 250-entry cache (hit ratio ~1), then 5000 files
+    (hit ratio 0 until the tail recurs) — a clean mid-trace workload
+    shift at event 10,000.
+    """
+    ids = [f"a{i % 50:04d}" for i in range(10_000)]
+    ids += [f"b{i % 5000:04d}" for i in range(10_000)]
+    return Trace(
+        events=[TraceEvent(file_id=file_id) for file_id in ids],
+        name="phase-change",
+    )
+
+
+class TestDriftDetector:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(AnalysisError):
+            DriftDetector(history=1)
+        with pytest.raises(AnalysisError):
+            DriftDetector(threshold=0.0)
+        with pytest.raises(AnalysisError):
+            DriftDetector(alpha=0.0)
+        with pytest.raises(AnalysisError):
+            DriftDetector(alpha=1.5)
+        with pytest.raises(AnalysisError):
+            DriftDetector(min_std=0.0)
+
+    def test_no_alerts_during_warmup(self):
+        detector = DriftDetector(history=4)
+        # Even a wild jump cannot alert before the baseline holds
+        # `history` values.
+        assert detector.update(0.9) is None
+        assert detector.update(0.1) is None
+        assert detector.update(0.9) is None
+
+    def test_stationary_series_never_alerts(self):
+        detector = DriftDetector(history=4, threshold=4.0)
+        for value in [0.5, 0.501, 0.499, 0.5] * 10:
+            assert detector.update(value) is None
+
+    def test_zero_mean_baseline_has_bounded_zscore(self):
+        # A perfectly flat all-miss phase must not turn the first
+        # nonzero value into an astronomically large z-score; the std
+        # floor makes the score finite and proportional.
+        detector = DriftDetector(history=4, threshold=4.0, alpha=1.0)
+        for _ in range(6):
+            detector.update(0.0)
+        hit = detector.update(0.2)
+        assert hit is not None
+        zscore, direction = hit
+        assert direction == "rise"
+        assert zscore == pytest.approx(0.2 / 0.02)
+
+    def test_baseline_mean_none_during_warmup(self):
+        detector = DriftDetector(history=4)
+        detector.update(0.5)
+        assert detector.baseline_mean is None
+        for value in [0.5, 0.5, 0.5]:
+            detector.update(value)
+        assert detector.baseline_mean == pytest.approx(0.5)
+
+    def test_last_smoothed_survives_regime_reset(self):
+        detector = DriftDetector(history=4, threshold=4.0, alpha=0.5)
+        for _ in range(5):
+            detector.update(1.0)
+        hit = detector.update(0.0)
+        assert hit is not None
+        # The EWMA that tripped the test (0.5), not the raw value the
+        # detector reset to (0.0).
+        assert detector.last_smoothed == pytest.approx(0.5)
+        assert detector._ewma == pytest.approx(0.0)
+
+    def test_regime_reset_alerts_once_per_shift(self):
+        series = [1.0] * 10 + [0.1] * 10 + [1.0] * 10
+        shifts = detect_level_shifts(series, history=4)
+        assert [(pos, direction) for pos, _, direction in shifts] == [
+            (10, "drop"),
+            (20, "rise"),
+        ]
+
+
+class TestDetectLevelShifts:
+    def test_single_drop_located_exactly(self):
+        shifts = detect_level_shifts([1.0] * 20 + [0.1] * 20, history=4)
+        assert len(shifts) == 1
+        position, zscore, direction = shifts[0]
+        assert position == 20
+        assert direction == "drop"
+        assert zscore < -4.0
+
+    def test_steady_series_is_empty(self):
+        assert detect_level_shifts([0.7] * 40, history=4) == []
+
+
+class TestDetectDrift:
+    def test_flags_injected_workload_shift_at_correct_window(self):
+        """The acceptance criterion: a mid-trace shift is flagged at
+        the window where it happens, event-addressed."""
+        system = DistributedFileSystem(client_capacity=250, group_size=5)
+        with windowing(window=1000) as collector:
+            system.replay(phase_change_trace())
+        alerts = detect_drift(collector.samples, history=4)
+        hit_ratio_alerts = [a for a in alerts if a.metric == "hit_ratio"]
+        assert hit_ratio_alerts
+        first = hit_ratio_alerts[0]
+        assert first.index == 10
+        assert first.start == 10_000
+        assert first.direction == "drop"
+        assert first.describe().startswith(
+            "hit_ratio collapsed at window 10 (event 10000)"
+        )
+
+    def test_skips_sweep_samples(self):
+        samples = [
+            WindowSample(source="sweep", index=i, hits=0, misses=10, events=10)
+            for i in range(20)
+        ]
+        assert detect_drift(samples, history=4) == []
+
+    def test_skips_none_metric_values(self):
+        samples = [
+            WindowSample(index=i, start=i * 10, events=10, hits=9, misses=1)
+            for i in range(20)
+        ]
+        for sample in samples:
+            sample.entropy = None
+        assert detect_drift(samples, metrics=("entropy",), history=4) == []
+
+    def test_alert_table_rows(self):
+        alert = DriftAlert(
+            metric="hit_ratio",
+            index=10,
+            start=10_000,
+            value=0.1234,
+            baseline=0.9876,
+            zscore=-13.5,
+            direction="drop",
+        )
+        rows = drift_rows([alert])
+        assert rows == [
+            {
+                "metric": "hit_ratio",
+                "window": 10,
+                "event": 10_000,
+                "direction": "drop",
+                "value": "0.1234",
+                "baseline": "0.9876",
+                "z": "-13.5",
+            }
+        ]
+
+    def test_alert_round_trips_to_dict(self):
+        alert = DriftAlert("entropy", 3, 300, 2.0, 1.0, 5.0, "rise")
+        assert alert.to_dict()["direction"] == "rise"
+        assert "jumped at window 3" in alert.describe()
+
+
+class TestWorkloadDriftReport:
+    def test_stationary_workloads_report_steady(self):
+        rows = workload_drift_rows(
+            events=4000, workloads=("server",), window=500, history=4
+        )
+        assert rows[0] == [
+            "workload",
+            "windows",
+            "metric",
+            "window",
+            "event",
+            "shift",
+            "z",
+        ]
+        body = rows[1:]
+        assert body
+        assert all(row[0] == "server" for row in body)
+        assert body[0][1] == "8"

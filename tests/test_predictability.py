@@ -50,6 +50,29 @@ class TestEntropyTimeline:
         samples = entropy_timeline(["a", "b", "a"], window=10)
         assert len(samples) == 1
 
+    def test_window_larger_than_trace_yields_one_truncated_sample(self):
+        sequence = ["a", "b"] * 4
+        samples = entropy_timeline(sequence, window=1000)
+        assert len(samples) == 1
+        start, value = samples[0]
+        assert start == 0
+        # The single sample covers the whole (shorter-than-window)
+        # trace, so it must agree with a perfectly fitted window.
+        assert value == entropy_timeline(sequence, window=len(sequence))[0][1]
+
+    def test_stride_beyond_window_samples_disjoint_excerpts(self):
+        sequence = ["a", "b"] * 500
+        samples = entropy_timeline(sequence, window=100, stride=400)
+        starts = [start for start, _ in samples]
+        assert starts == [0, 400, 800]
+
+    def test_empty_trace_yields_no_samples(self):
+        assert entropy_timeline([], window=100) == []
+
+    def test_single_event_trace_yields_no_samples(self):
+        # One event has no successor pairs: no samples, not an error.
+        assert entropy_timeline(["a"], window=100) == []
+
 
 class TestPerFilePredictability:
     def test_contribution_ordering(self):

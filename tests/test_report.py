@@ -45,12 +45,50 @@ class TestBuildReport:
         with pytest.raises(AnalysisError):
             build_report(events=0)
 
+    def test_drift_flag_appends_drift_section(self):
+        seen = []
+        text = build_report(
+            events=2500,
+            sections=tiny_sections(),
+            drift=True,
+            progress=seen.append,
+        )
+        assert "## Workload drift (windowed telemetry)" in text
+        assert "drift" in seen
+
     def test_default_sections_cover_every_figure(self):
         ids = [section_id for section_id, _ in default_sections(1000)]
         for expected in ("fig3-server", "fig4-users", "fig5-workstation",
                          "fig7", "fig8-write", "placement", "hoarding",
                          "attribution", "peer-caching"):
             assert expected in ids
+
+
+class TestProvenanceDisabledNote:
+    def test_rows_dashed_when_obs_disabled(self, monkeypatch):
+        from repro.analysis.report import provenance_rows
+        from repro.obs import registry as obs_registry
+
+        # If the master switch never comes on, the traced replay emits
+        # nothing — the table must dash the row, not print zeros.
+        monkeypatch.setattr(obs_registry, "enable", lambda: None)
+        rows = provenance_rows(events=500, workloads=("server",))
+        assert rows[1] == ["server", "-", "-", "-", "-", "-"]
+
+    def test_section_explains_dashes(self, monkeypatch):
+        from repro.analysis.report import _provenance_section
+        from repro.obs import registry as obs_registry
+
+        monkeypatch.setattr(obs_registry, "enable", lambda: None)
+        section = _provenance_section(events=500)
+        assert "metric collection was disabled" in section
+
+    def test_rows_populated_when_obs_enabled(self):
+        from repro.analysis.report import provenance_rows
+
+        rows = provenance_rows(events=500, workloads=("server",))
+        assert rows[1][0] == "server"
+        assert rows[1][1] != "-"
 
 
 class TestWriteReport:
