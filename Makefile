@@ -42,7 +42,9 @@ bench-check:
 		--fresh BENCH_fresh.json \
 		--strict test_system_replay_throughput \
 		--strict test_system_replay_interned_throughput \
-		--strict test_aggregating_replay_fast_throughput
+		--strict test_aggregating_replay_fast_throughput \
+		--strict test_columnar_kernel_replay_throughput \
+		--strict test_columnar_scan_pure_int_throughput
 
 # Tracing smoke: record a real traced replay, then validate the JSONL
 # export against the repro.trace/1 schema and its own meta accounting.

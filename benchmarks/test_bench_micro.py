@@ -225,3 +225,93 @@ def test_aggregating_replay_fast_throughput(benchmark):
 
     benchmark(run)
     _record_throughput(benchmark, len(sequence))
+
+
+# -- columnar kernel -------------------------------------------------------
+#
+# The batch kernel consumes int columns straight off the (mmap-backed)
+# columnar trace.  Two numbers matter: the full-system replay (stateful
+# LRU loop, bounded by python dict ops) and the pure-int column scan —
+# the 10M+ events/s hot path the strict gate tracks.
+
+
+def _columnar_trace():
+    from repro.experiments.common import FAST_EVENTS, workload_columnar
+
+    return workload_columnar("server", FAST_EVENTS)
+
+
+def test_columnar_kernel_replay_throughput(benchmark):
+    from repro.sim.engine import DistributedFileSystem
+
+    ctrace = _columnar_trace()
+
+    def run():
+        system = DistributedFileSystem(
+            client_capacity=250, server_capacity=300, group_size=5
+        )
+        return system.replay(ctrace)
+
+    metrics = benchmark(run)
+    assert metrics.total_client_accesses == len(ctrace)
+    _record_throughput(benchmark, len(ctrace))
+
+
+def test_columnar_scan_pure_int_throughput(benchmark):
+    # Strict-gated on the *pure-python* fallback so the recorded number
+    # is comparable on machines with and without numpy (the CI gate runs
+    # numpy-free).  C-speed primitives (set construction, bytes.count)
+    # keep even this path above the 10M events/s bar.
+    import repro.sim.kernel as kernel
+
+    ctrace = _columnar_trace()
+    file_codes = ctrace.file_codes
+    kind_codes = ctrace.kind_codes
+    n_symbols = len(ctrace.file_symbols)
+
+    def run():
+        return kernel.scan_columns(file_codes, kind_codes, n_symbols)
+
+    saved = kernel.HAVE_NUMPY
+    kernel.HAVE_NUMPY = False
+    try:
+        scan = benchmark(run)
+    finally:
+        kernel.HAVE_NUMPY = saved
+    assert scan.events == len(ctrace)
+    _record_throughput(benchmark, len(ctrace))
+
+
+def test_columnar_scan_numpy_throughput(benchmark):
+    # The vectorized path (one bincount per column).  Not in the strict
+    # set: it only exists where numpy is installed.
+    import pytest
+
+    from repro.sim.kernel import HAVE_NUMPY, scan_columns
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed")
+    ctrace = _columnar_trace()
+    file_codes = ctrace.file_codes
+    kind_codes = ctrace.kind_codes
+    n_symbols = len(ctrace.file_symbols)
+
+    def run():
+        return scan_columns(file_codes, kind_codes, n_symbols)
+
+    scan = benchmark(run)
+    assert scan.events == len(ctrace)
+    _record_throughput(benchmark, len(ctrace))
+
+
+def test_columnar_decode_throughput(benchmark):
+    # The interchange decode (columns -> event objects): the cost the
+    # kernel path avoids, kept measurable alongside it.
+    ctrace = _columnar_trace()
+
+    def run():
+        return ctrace.to_trace()
+
+    trace = benchmark(run)
+    assert len(trace) == len(ctrace)
+    _record_throughput(benchmark, len(ctrace))

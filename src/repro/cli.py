@@ -957,6 +957,76 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_pack(args: argparse.Namespace) -> int:
+    from .traces.columnar import (
+        describe_columnar,
+        read_columnar,
+        validate_columnar,
+        write_columnar,
+    )
+
+    if validate_columnar(args.trace):
+        source = read_columnar(args.trace)
+    else:
+        source = read_trace(args.trace)
+    written = write_columnar(source, args.out)
+    info = describe_columnar(args.out)
+    print(
+        f"packed {info['events']} events ({info['unique_files']} files) "
+        f"-> {args.out} ({written} bytes, {info['format']} v{info['version']})"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .traces.columnar import (
+        ColumnarTrace,
+        FORMAT_NAME,
+        FORMAT_VERSION,
+        describe_columnar,
+        validate_columnar,
+    )
+
+    if validate_columnar(args.trace):
+        info = describe_columnar(args.trace)
+    else:
+        # Text traces get the same report, computed from an in-memory
+        # packing (what `repro trace pack` would write).
+        packed = ColumnarTrace.from_trace(read_trace(args.trace))
+        columns = packed.column_nbytes()
+        info = {
+            "format": f"{FORMAT_NAME} (unpacked text)",
+            "version": FORMAT_VERSION,
+            "events": len(packed),
+            "unique_files": len(packed.file_symbols),
+            "client_symbols": len(packed.client_symbols),
+            "user_symbols": len(packed.user_symbols),
+            "process_symbols": len(packed.process_symbols),
+            "columns": columns,
+            "columns_bytes": sum(columns.values()),
+            "footer_bytes": None,
+            "file_bytes": args.trace.stat().st_size,
+        }
+    rows = [["property", "value"]]
+    for key in (
+        "format",
+        "version",
+        "events",
+        "unique_files",
+        "client_symbols",
+        "user_symbols",
+        "process_symbols",
+    ):
+        rows.append([key.replace("_", " "), str(info[key])])
+    for column, nbytes in sorted(info["columns"].items()):
+        rows.append([f"column bytes ({column})", str(nbytes)])
+    for key in ("columns_bytes", "footer_bytes", "file_bytes"):
+        if info.get(key) is not None:
+            rows.append([key.replace("_", " "), str(info[key])])
+    print(rows_to_markdown(rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1395,6 +1465,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("trace", type=Path)
     inspect.set_defaults(handler=_cmd_inspect)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="columnar binary trace tooling (pack / info)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    pack = trace_sub.add_parser(
+        "pack",
+        help="pack a text trace into the columnar binary format",
+    )
+    pack.add_argument("trace", type=Path, help="input trace (text or columnar)")
+    pack.add_argument("out", type=Path, help="output .ctrace file")
+    pack.set_defaults(handler=_cmd_trace_pack)
+    info = trace_sub.add_parser(
+        "info",
+        help="event count, unique files, column sizes, format version",
+    )
+    info.add_argument("trace", type=Path, help="trace file (columnar or text)")
+    info.set_defaults(handler=_cmd_trace_info)
 
     return parser
 

@@ -17,7 +17,9 @@ from .common import (
     FIG5_LIST_SIZES,
     FIG7_LENGTHS,
     FIG8_FILTERS,
+    prewarm_workload,
     workload_codes,
+    workload_columnar,
     workload_sequence,
     workload_trace,
 )
@@ -80,7 +82,9 @@ __all__ = [
     "run_placement",
     "run_server_capacity",
     "server_hit_rate",
+    "prewarm_workload",
     "workload_codes",
+    "workload_columnar",
     "workload_sequence",
     "workload_trace",
 ]

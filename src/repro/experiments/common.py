@@ -12,9 +12,9 @@ from functools import lru_cache
 from typing import Optional, Tuple
 
 from ..errors import ExperimentError
-from ..traces.artifacts import load_or_generate
+from ..traces.artifacts import load_or_generate_columnar
+from ..traces.columnar import ColumnarTrace
 from ..traces.events import Trace
-from ..traces.symbols import intern_sequence
 from ..workloads.synthetic import WORKLOADS
 
 #: Default trace length for CLI / full experiment runs.
@@ -47,6 +47,26 @@ def check_workload(name: str) -> str:
 
 
 @lru_cache(maxsize=32)
+def workload_columnar(
+    name: str, events: int, seed: Optional[int] = None
+) -> ColumnarTrace:
+    """Materialize (and memoize) one paper workload, columnar form.
+
+    This is the substrate the other memoized views decode from: one
+    mmap-backed :class:`~repro.traces.columnar.ColumnarTrace` per
+    (workload, events, seed), served straight off the on-disk artifact
+    cache (:mod:`repro.traces.artifacts`).  Sweep worker processes that
+    call into here each *open* the same artifact rather than regenerate
+    or unpickle it, so the column pages are shared through the OS page
+    cache across the whole pool.  Callers must treat the returned trace
+    as immutable (it mostly enforces that itself: columns are read-only
+    buffer views).
+    """
+    check_workload(name)
+    return load_or_generate_columnar(name, events, seed)
+
+
+@lru_cache(maxsize=32)
 def workload_trace(name: str, events: int, seed: Optional[int] = None) -> Trace:
     """Materialize (and memoize) one paper workload trace.
 
@@ -54,12 +74,11 @@ def workload_trace(name: str, events: int, seed: Optional[int] = None) -> Trace:
     times, and regeneration would dominate the run.  Callers must treat
     the returned trace as immutable.
 
-    Behind the in-process memo sits the on-disk artifact cache
-    (:mod:`repro.traces.artifacts`), so sweep worker processes, repeat
-    CLI runs, and benchmark invocations skip regeneration too.
+    Event-object decode of :func:`workload_columnar` — for the per-event
+    loops and analyses that want real :class:`TraceEvent` objects; the
+    replay engine itself can consume the columnar form directly.
     """
-    check_workload(name)
-    return load_or_generate(name, events, seed)
+    return workload_columnar(name, events, seed).to_trace()
 
 
 @lru_cache(maxsize=32)
@@ -67,7 +86,7 @@ def workload_sequence(
     name: str, events: int, seed: Optional[int] = None
 ) -> Tuple[str, ...]:
     """The memoized access sequence (file ids) of one paper workload."""
-    return tuple(workload_trace(name, events, seed).file_ids())
+    return tuple(workload_columnar(name, events, seed).file_ids())
 
 
 @lru_cache(maxsize=32)
@@ -81,6 +100,22 @@ def workload_codes(
     identical to replaying the file-id strings — only faster, because
     integer hashing beats string hashing in the per-event hot loops.
     The figure sweeps replay through this form.
+
+    The codes are the columnar artifact's file column verbatim
+    (:class:`~repro.traces.symbols.SymbolTable` first-appearance order,
+    the same assignment :func:`~repro.traces.symbols.intern_sequence`
+    makes), so code-keyed results compare across both forms.
     """
-    codes, _table = intern_sequence(workload_sequence(name, events, seed))
-    return tuple(codes)
+    return tuple(workload_columnar(name, events, seed).file_codes)
+
+
+def prewarm_workload(
+    name: str, events: int, seed: Optional[int] = None
+) -> None:
+    """Ensure a workload's columnar artifact is on disk (and memoized).
+
+    Sweeps call this once in the *parent* before fanning points out, so
+    every worker process finds the ``.ctrace`` file already written and
+    mmaps it instead of racing to generate its own copy.
+    """
+    workload_columnar(name, events, seed)

@@ -27,6 +27,7 @@ from .common import (
     FIG3_CAPACITIES,
     FIG3_GROUP_SIZES,
     check_workload,
+    prewarm_workload,
     workload_codes,
 )
 
@@ -108,6 +109,7 @@ def run_fig3(
         ),
         progress=progress,
         workers=workers,
+        prewarm=partial(prewarm_workload, workload, events, seed),
     )
     figure = FigureData(
         figure_id=f"fig3-{workload}",

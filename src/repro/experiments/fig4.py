@@ -32,6 +32,7 @@ from .common import (
     FIG4_FILTER_CAPACITIES,
     FIG4_SERVER_CAPACITY,
     check_workload,
+    prewarm_workload,
     workload_codes,
 )
 
@@ -132,6 +133,7 @@ def run_fig4(
         ),
         progress=progress,
         workers=workers,
+        prewarm=partial(prewarm_workload, workload, events, seed),
     )
     figure = FigureData(
         figure_id=f"fig4-{workload}",

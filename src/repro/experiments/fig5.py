@@ -24,6 +24,7 @@ from .common import (
     DEFAULT_EVENTS,
     FIG5_LIST_SIZES,
     check_workload,
+    prewarm_workload,
     workload_codes,
 )
 
@@ -74,6 +75,7 @@ def run_fig5(
         partial(fig5_point, workload=workload, events=events, seed=seed),
         progress=progress,
         workers=workers,
+        prewarm=partial(prewarm_workload, workload, events, seed),
     )
     figure = FigureData(
         figure_id=f"fig5-{workload}",

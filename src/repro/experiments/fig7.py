@@ -20,7 +20,13 @@ from ..analysis.series import FigureData
 from ..core.entropy import entropy_profile
 from ..errors import ExperimentError
 from ..sim.sweep import SweepGrid, run_sweep
-from .common import DEFAULT_EVENTS, FIG7_LENGTHS, check_workload, workload_codes
+from .common import (
+    DEFAULT_EVENTS,
+    FIG7_LENGTHS,
+    check_workload,
+    prewarm_workload,
+    workload_codes,
+)
 
 #: Figure 7's legend order.
 DEFAULT_WORKLOADS = ("users", "write", "server", "workstation")
@@ -66,6 +72,9 @@ def run_fig7(
         partial(fig7_point, events=events, lengths=tuple(lengths), seed=seed),
         progress=progress,
         workers=workers,
+        prewarm=lambda: [
+            prewarm_workload(workload, events, seed) for workload in workloads
+        ],
     )
     figure = FigureData(
         figure_id="fig7",

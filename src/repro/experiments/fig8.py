@@ -26,6 +26,7 @@ from .common import (
     FIG7_LENGTHS,
     FIG8_FILTERS,
     check_workload,
+    prewarm_workload,
     workload_trace,
 )
 
@@ -76,6 +77,7 @@ def run_fig8(
         ),
         progress=progress,
         workers=workers,
+        prewarm=partial(prewarm_workload, workload, events, seed),
     )
     figure = FigureData(
         figure_id=f"fig8-{workload}",

@@ -467,11 +467,16 @@ def windowed_replay(
     :func:`~repro.sim.progress.normalize_progress` contract, with
     ``params = {"window": w, "start": event_index}`` per window.
 
+    Columnar traces window via zero-copy slices — each chunk is a view
+    into the same mmap, never materialized events — and ``intern`` is
+    moot for them (their file ids are already dense codes).
+
     Returns the system's end-of-run metrics, like ``replay`` itself.
     """
     # Deferred: repro.sim imports repro.obs at module load; importing
     # back at call time avoids the package-init cycle.
     from ..sim.progress import normalize_progress
+    from ..traces.columnar import ColumnarTrace
     from ..traces.events import Trace
 
     chosen = collector if collector is not None else ACTIVE
@@ -480,8 +485,9 @@ def windowed_replay(
             "windowed_replay needs a collector (pass one or activate "
             "windowing())"
         )
-    events = trace.events
-    if intern and events:
+    columnar = isinstance(trace, ColumnarTrace)
+    events = trace if columnar else trace.events
+    if intern and not columnar and events:
         import dataclasses
 
         from ..traces.symbols import SymbolTable
@@ -514,15 +520,32 @@ def windowed_replay(
                     {"window": index, "start": low},
                     time.perf_counter() - started,
                 )
-            chunk = events[low:high]
-            sub_trace = Trace(events=chunk, name=f"{trace.name}[{low}:{high}]")
+            if columnar:
+                sub_trace = trace.slice(low, high)
+            else:
+                chunk = events[low:high]
+                sub_trace = Trace(
+                    events=chunk, name=f"{trace.name}[{low}:{high}]"
+                )
             before = _system_totals(system)
             chunk_started = time.perf_counter()
             system._replay_trace(sub_trace, intern=False)
             seconds = time.perf_counter() - chunk_started
             after = _system_totals(system)
+            if not chosen.entropy:
+                file_ids = ()
+            elif columnar:
+                # Codes, not strings: entropy is invariant under the
+                # bijective relabelling, so the sample matches the
+                # event-object path (asserted by tests/test_kernel.py).
+                file_ids = sub_trace.file_codes
+            else:
+                file_ids = [event.file_id for event in chunk]
             chosen.append(
-                _window_sample(chosen, system, chunk, low, before, after, seconds)
+                _window_sample(
+                    chosen, system, high - low, file_ids, low,
+                    before, after, seconds,
+                )
             )
     finally:
         set_collector(previous)
@@ -534,13 +557,19 @@ def windowed_replay(
 def _window_sample(
     collector: WindowedCollector,
     system,
-    chunk,
+    count: int,
+    file_ids: Sequence[Any],
     start: int,
     before: Tuple[int, ...],
     after: Tuple[int, ...],
     seconds: float,
 ) -> WindowSample:
-    """Fold one window's counter deltas into a :class:`WindowSample`."""
+    """Fold one window's counter deltas into a :class:`WindowSample`.
+
+    ``file_ids`` is the window's access sequence (strings or columnar
+    codes — entropy only cares about the successor distribution) and may
+    be empty when the collector skips entropy.
+    """
     (
         hits,
         misses,
@@ -557,16 +586,12 @@ def _window_sample(
     # rest of the store traffic is speculative companion shipping.
     demanded_fetches = server_misses if system.server_cache is not None else remote_requests
     speculative = max(store_fetches - demanded_fetches, 0)
-    entropy = (
-        _chunk_entropy([event.file_id for event in chunk])
-        if collector.entropy
-        else None
-    )
+    entropy = _chunk_entropy(file_ids) if collector.entropy else None
     return WindowSample(
         source="replay",
         index=collector._replay_windows + (start // collector.window),
         start=collector._replay_events + start,
-        events=len(chunk),
+        events=count,
         seconds=seconds,
         hits=hits,
         misses=misses,

@@ -39,6 +39,7 @@ from ..errors import SimulationError
 from ..obs import registry as _obs
 from ..obs import timeseries as _ts
 from ..obs import tracing as _tracing
+from ..traces.columnar import ColumnarTrace
 from ..traces.events import EventKind, Trace
 from ..traces.symbols import SymbolTable, intern_sequence
 
@@ -618,7 +619,21 @@ class DistributedFileSystem:
         for the whole trace.  Fast-path eligibility is re-checked per
         call, so a configuration change mid-windowed-run is honoured at
         the next window boundary.
+
+        Columnar traces route to the batch kernel
+        (:func:`repro.sim.kernel.replay_columns`) when the configuration
+        qualifies — integer columns replayed straight off the mmap, the
+        ``intern=True`` contract without the encoding pass — and are
+        decoded to event objects for the generic path otherwise.  Either
+        way the resulting metrics are byte-identical to replaying the
+        decoded events.
         """
+        if isinstance(trace, ColumnarTrace):
+            if self._fast_replay_ok():
+                from .kernel import replay_columns
+
+                return replay_columns(self, trace)
+            return self._replay_trace(trace.to_trace(), intern)
         if self._fast_replay_ok():
             return self._replay_fast(trace, intern)
         record = _obs.ENABLED

@@ -1,0 +1,360 @@
+"""Batch replay kernel over columnar integer traces.
+
+The engine's fused fast loop (:meth:`DistributedFileSystem._replay_fast`)
+removed the per-event call overhead of the generic path, but it still
+starts from event *objects*: every replay pays a pass that pulls
+``event.file_id`` / ``event.client_id`` out of 60k dataclasses before
+the hot loop can run, and ``intern=True`` pays a second pass to encode
+strings.  This module is the next rung down: kernels that consume the
+integer columns of a :class:`~repro.traces.columnar.ColumnarTrace`
+*directly* — no event objects, no strings, no encoding pass — the same
+narrow-ABI split SimCash uses between its python API and its Rust core,
+kept in python but with the same discipline: the kernel sees arrays of
+ints and a handful of dicts, nothing else.
+
+Two kernels live here:
+
+* :func:`replay_columns` — the full Figure-2 system replay.  A port of
+  the engine's fused loop that iterates zero-copy column slices
+  per client segment.  It is **count-identical** to the generic
+  per-event path (the engine equivalence tests assert byte-equal
+  :class:`~repro.sim.engine.SystemMetrics` on all four paper
+  workloads), and reports observability deltas through the same
+  batched helpers the fast loop uses.
+* :func:`scan_columns` — the pure-int column scan: event counts, unique
+  files, and the kind histogram in one pass.  Vectorized with numpy
+  when available, with a count-identical pure-python fallback built on
+  C-speed primitives (``set`` construction, ``bytes.count``).  This is
+  the 10M+ events/s hot path the strict benchmark gate tracks; the
+  windowed telemetry driver and ``repro trace info`` ride it.
+
+numpy is strictly optional: :data:`HAVE_NUMPY` gates every use, and the
+fallbacks produce identical counts (asserted by ``tests/test_kernel.py``
+with the flag forced off).  The stateful replay loop itself is pure
+python either way — LRU and successor-list updates are inherently
+sequential — numpy accelerates the *batch* work around it: client
+segmentation and column scans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via the HAVE_NUMPY=False tests
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_NUMPY = False
+
+from ..caching.lru import LRUCache
+from ..core.grouping import build_group_fast
+from ..core.successors import LRUSuccessorList
+from ..obs import registry as _obs
+
+#: Default client identity for events that carry none (engine contract).
+DEFAULT_CLIENT = "client00"
+
+
+def _as_ndarray(column, dtype):
+    """A numpy view of an int column, copy-free for buffer-backed ones.
+
+    ``array.array`` and (sliced) ``memoryview`` columns expose the
+    buffer protocol, so ``frombuffer`` wraps them in place; plain
+    sequences (tuples from the memoized workload helpers) are copied.
+    """
+    try:
+        return _np.frombuffer(column, dtype=dtype)
+    except (TypeError, ValueError):
+        return _np.asarray(column, dtype=dtype)
+
+
+# -- column scans -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnScan:
+    """One pass's worth of column statistics.
+
+    ``kind_counts`` is indexed by the fixed columnar kind numbering
+    (:data:`repro.traces.columnar.KINDS`); with no kind column every
+    event is an OPEN.
+    """
+
+    events: int
+    unique_files: int
+    kind_counts: Tuple[int, ...]
+
+    @property
+    def open_events(self) -> int:
+        return self.kind_counts[0]
+
+    @property
+    def mutation_events(self) -> int:
+        """WRITE + CREATE + DELETE events (the invalidation stream)."""
+        return self.kind_counts[2] + self.kind_counts[3] + self.kind_counts[4]
+
+
+def scan_columns(
+    file_codes: Sequence[int],
+    kind_codes: Optional[Sequence[int]] = None,
+    n_file_symbols: Optional[int] = None,
+) -> ColumnScan:
+    """Scan integer columns for event count, unique files, kind mix.
+
+    The numpy path runs one ``bincount`` per column; the fallback uses
+    ``set`` construction and ``bytes.count``, both C loops.  Outputs are
+    identical (``tests/test_kernel.py`` forces the fallback and
+    compares).
+    """
+    n = len(file_codes)
+    n_kinds = 6
+    if n == 0:
+        return ColumnScan(events=0, unique_files=0, kind_counts=(0,) * n_kinds)
+    if HAVE_NUMPY:
+        files = _as_ndarray(file_codes, _np.uint32)
+        minlength = n_file_symbols or 0
+        unique = int(
+            _np.count_nonzero(_np.bincount(files, minlength=minlength))
+        )
+        if kind_codes is None:
+            kinds = (n,) + (0,) * (n_kinds - 1)
+        else:
+            histogram = _np.bincount(
+                _as_ndarray(kind_codes, _np.uint8), minlength=n_kinds
+            )
+            kinds = tuple(int(count) for count in histogram[:n_kinds])
+    else:
+        unique = len(set(file_codes))
+        if kind_codes is None:
+            kinds = (n,) + (0,) * (n_kinds - 1)
+        else:
+            raw = bytes(kind_codes)
+            kinds = tuple(raw.count(code) for code in range(n_kinds))
+    return ColumnScan(events=n, unique_files=unique, kind_counts=kinds)
+
+
+# -- client segmentation ----------------------------------------------------
+
+
+def client_runs(ctrace) -> List[Tuple[str, int, int]]:
+    """Maximal runs of equal client identity: ``[(client, lo, hi), ...]``.
+
+    Events with an empty client id belong to :data:`DEFAULT_CLIENT`,
+    matching the engine's generic path.  A constant (elided) client
+    column is one run over the whole trace.  Boundary detection is a
+    vectorized diff under numpy and a plain scan otherwise — identical
+    runs either way.
+    """
+    n = len(ctrace)
+    codes = ctrace.client_codes
+    symbols = ctrace.client_symbols
+    if n == 0:
+        return []
+    if codes is None:
+        return [(symbols[0] or DEFAULT_CLIENT, 0, n)]
+    if HAVE_NUMPY:
+        column = _as_ndarray(codes, _np.uint32)
+        boundaries = _np.flatnonzero(column[1:] != column[:-1]) + 1
+        edges = [0] + boundaries.tolist() + [n]
+    else:
+        edges = [0]
+        previous = codes[0]
+        for index in range(1, n):
+            code = codes[index]
+            if code != previous:
+                edges.append(index)
+                previous = code
+        edges.append(n)
+    return [
+        (symbols[codes[lo]] or DEFAULT_CLIENT, lo, hi)
+        for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+
+
+# -- system replay ----------------------------------------------------------
+
+
+def _map_previous(ctrace, previous):
+    """Carry ``tracker._previous`` into this trace's code space.
+
+    A string from an earlier string-keyed replay maps to its code when
+    the symbol is known, else to the first unused code (any distinct
+    key preserves counts — policies are key-agnostic).  Ints pass
+    through, with the same cross-replay caveat ``intern=True`` has
+    always had: codes from *different* traces share a namespace.
+    """
+    if previous is None or isinstance(previous, int):
+        return previous
+    try:
+        return ctrace.code_of(previous)
+    except KeyError:
+        return len(ctrace.file_symbols)
+
+
+def replay_columns(system, ctrace):
+    """Replay a columnar trace through a qualifying system, batch-wise.
+
+    The caller (:meth:`DistributedFileSystem._replay_trace`) guarantees
+    ``system._fast_replay_ok()``: LRU successor lists, plain LRU caches,
+    the stock group builder, no write invalidation, no active flight
+    recorder.  The loop is the engine's fused fast loop re-specialized
+    for integer columns: file identifiers are ints straight out of the
+    mmap, client segmentation is precomputed per run (hoisting the
+    per-event client check), and cache keys after the replay are codes
+    — exactly the ``intern=True`` contract, so reserve it for
+    metrics-only runs.
+
+    Returns the system's end-of-run :class:`~repro.sim.engine.SystemMetrics`,
+    byte-identical to the generic per-event path on the same events.
+    """
+    runs = client_runs(ctrace)
+    codes = ctrace.file_codes
+    prev = _map_previous(ctrace, system.tracker._previous)
+
+    tracker = system.tracker
+    lists = tracker._lists
+    lists_get = lists.get
+    successor_capacity = tracker.capacity
+    group_size = system.group_size
+    cooperative = system.cooperative
+    clients = system.clients
+    client_capacity = system.client_capacity
+    server = system.server_cache
+    server_mirror = system._server_stats
+    if server is not None:
+        server_order = server._order
+        server_stats = server.stats
+        server_capacity = server.capacity
+        server_listener = server.evict_listener
+        server_install = server.install_group_at_tail_fast
+
+    record = _obs.ENABLED
+    observe_group = observe_chain = None
+    singleton_builds = 0
+    if record:
+        registry = _obs.get_registry()
+        observe_group = registry.histogram("engine.group_fetch.size").observe
+        observe_chain = registry.histogram("grouping.chain.length").observe
+        baseline = system._metrics_baseline()
+        prev_was_none = prev is None
+        started = time.perf_counter_ns()
+
+    remote_requests = 0
+    store_fetches = 0
+
+    for client_id, lo, hi in runs:
+        cache = clients.get(client_id)
+        if cache is None:
+            cache = LRUCache(client_capacity)
+            cache.trace_name = f"client.{client_id}"
+            clients[client_id] = cache
+        cache_listener = cache.evict_listener
+        order = cache._order
+        cache_stats = cache.stats
+        pending_hits = 0
+
+        for file_id in codes[lo:hi]:
+            if cooperative:
+                if prev is not None:
+                    slist = lists_get(prev)
+                    if slist is None:
+                        slist = LRUSuccessorList(successor_capacity)
+                        lists[prev] = slist
+                    slist_order = slist._order
+                    if file_id in slist_order:
+                        slist_order.move_to_end(file_id)
+                    else:
+                        if len(slist_order) >= successor_capacity:
+                            slist_order.popitem(last=False)
+                        slist_order[file_id] = None
+                prev = file_id
+
+            if file_id in order:
+                order.move_to_end(file_id)
+                pending_hits += 1
+                continue
+
+            # ---- client miss: demand admit, one group request ----
+            cache_stats.misses += 1
+            while len(order) >= client_capacity:
+                victim, _value = order.popitem(last=False)
+                if cache_listener is not None:
+                    cache_listener(victim)
+                cache_stats.evictions += 1
+            order[file_id] = None
+            remote_requests += 1
+
+            if not cooperative:
+                if prev is not None:
+                    slist = lists_get(prev)
+                    if slist is None:
+                        slist = LRUSuccessorList(successor_capacity)
+                        lists[prev] = slist
+                    slist_order = slist._order
+                    if file_id in slist_order:
+                        slist_order.move_to_end(file_id)
+                    else:
+                        if len(slist_order) >= successor_capacity:
+                            slist_order.popitem(last=False)
+                        slist_order[file_id] = None
+                prev = file_id
+
+            members = build_group_fast(lists_get, group_size, file_id)
+            if observe_group is not None:
+                observe_group(len(members))
+                observe_chain(len(members))
+                if len(members) == 1:
+                    singleton_builds += 1
+            companions = members[1:]
+            if server is not None:
+                if file_id in server_order:
+                    server_order.move_to_end(file_id)
+                    server_stats.hits += 1
+                    server_mirror.hits += 1
+                else:
+                    server_stats.misses += 1
+                    server_mirror.misses += 1
+                    store_fetches += 1
+                    while len(server_order) >= server_capacity:
+                        victim, _value = server_order.popitem(last=False)
+                        if server_listener is not None:
+                            server_listener(victim)
+                        server_stats.evictions += 1
+                    server_order[file_id] = None
+                for member in companions:
+                    if member not in server_order:
+                        store_fetches += 1
+                server_install(server_order, companions, server_stats)
+            else:
+                store_fetches += len(members)
+            cache.install_group_at_tail_fast(order, companions, cache_stats)
+
+        if pending_hits:
+            cache_stats.hits += pending_hits
+
+    if runs:
+        tracker._previous = prev
+    system.remote_requests += remote_requests
+    system.store.fetches += store_fetches
+    if record:
+        if cooperative:
+            transition_sites = len(ctrace)
+        else:
+            transition_sites = remote_requests
+        transitions = (
+            transition_sites - 1
+            if (prev_was_none and transition_sites)
+            else transition_sites
+        )
+        system._record_replay_metrics(registry, baseline, transitions)
+        system._record_policy_counters(registry, baseline)
+        if singleton_builds:
+            registry.counter("grouping.build.singletons").inc(singleton_builds)
+        registry.histogram("engine.replay.kernel.ns").observe(
+            time.perf_counter_ns() - started
+        )
+    return system.metrics()

@@ -217,6 +217,7 @@ def run_sweep(
     progress: Optional[Callable[..., None]] = None,
     workers: int = 1,
     timing: bool = False,
+    prewarm: Optional[Callable[[], Any]] = None,
 ) -> List[Record]:
     """Evaluate ``run_point(**params)`` at every grid point.
 
@@ -245,8 +246,18 @@ def run_sweep(
 
     ``timing=True`` adds each point's wall-clock seconds to its record
     under :data:`POINT_SECONDS_KEY`.
+
+    ``prewarm`` is an optional zero-argument callable invoked once in
+    the parent before any point runs.  The figure experiments pass
+    :func:`repro.experiments.common.prewarm_workload` through it so the
+    workload's columnar trace artifact is on disk before fan-out: worker
+    processes then mmap the shared artifact (page-cache shared across
+    the pool) instead of each regenerating the trace, and nothing
+    trace-sized ever crosses the pickle boundary.
     """
     points = grid.points()
+    if prewarm is not None:
+        prewarm()
     notify = normalize_progress(progress)
     started = time.perf_counter()
     record_metrics = _obs.ENABLED

@@ -8,7 +8,21 @@ filtering) that the paper's analyses depend on.
 
 from .adapters import from_csv, from_path_lines, from_strace_log
 from .anonymize import anonymize_trace, enumerate_trace, verify_structure_preserved
-from .artifacts import CACHE_ENV_VAR, artifact_path, cache_dir, load_or_generate
+from .artifacts import (
+    CACHE_ENV_VAR,
+    artifact_path,
+    cache_dir,
+    load_or_generate,
+    load_or_generate_columnar,
+)
+from .columnar import (
+    ColumnarFormatError,
+    ColumnarTrace,
+    describe_columnar,
+    read_columnar,
+    validate_columnar,
+    write_columnar,
+)
 from .symbols import SymbolTable, intern_sequence
 from .events import EventKind, Trace, TraceEvent
 from .filters import (
@@ -37,6 +51,8 @@ from .writer import format_event, write_trace
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "ColumnarFormatError",
+    "ColumnarTrace",
     "EventKind",
     "SymbolTable",
     "Trace",
@@ -44,8 +60,13 @@ __all__ = [
     "TraceSummary",
     "artifact_path",
     "cache_dir",
+    "describe_columnar",
     "intern_sequence",
     "load_or_generate",
+    "load_or_generate_columnar",
+    "read_columnar",
+    "validate_columnar",
+    "write_columnar",
     "access_counts",
     "anonymize_trace",
     "by_client",

@@ -396,3 +396,59 @@ class TestTimeseriesCommands:
         assert _parse_listen("0.0.0.0:9100") == ("0.0.0.0", 9100)
         with pytest.raises(ReproError):
             _parse_listen("9100")
+
+
+class TestTraceTooling:
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_pack_and_info_round_trip(self, capsys, tmp_path):
+        text = tmp_path / "w.trace"
+        packed = tmp_path / "w.ctrace"
+        assert main(
+            ["generate", "--workload", "write", "--events", "1500",
+             "--out", str(text)]
+        ) == 0
+        assert main(["trace", "pack", str(text), str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "packed 1500 events" in out
+        assert "repro-ctrace v1" in out
+        assert packed.exists()
+
+        assert main(["trace", "info", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "| events | 1500 |" in out
+        assert "| format | repro-ctrace |" in out
+        assert "| version | 1 |" in out
+        assert "column bytes (file)" in out
+
+        # The packed file decodes back to the text trace exactly.
+        from repro.traces.columnar import read_columnar
+        from repro.traces.reader import read_trace
+
+        assert read_columnar(packed).to_trace().events == read_trace(text).events
+
+    def test_info_accepts_text_traces(self, capsys, tmp_path):
+        text = tmp_path / "s.trace"
+        main(
+            ["generate", "--workload", "server", "--events", "800",
+             "--out", str(text)]
+        )
+        capsys.readouterr()
+        assert main(["trace", "info", str(text)]) == 0
+        out = capsys.readouterr().out
+        assert "| events | 800 |" in out
+        assert "unpacked text" in out
+
+    def test_pack_repacks_columnar_input(self, capsys, tmp_path):
+        text = tmp_path / "u.trace"
+        first = tmp_path / "u1.ctrace"
+        second = tmp_path / "u2.ctrace"
+        main(
+            ["generate", "--workload", "users", "--events", "600",
+             "--out", str(text)]
+        )
+        main(["trace", "pack", str(text), str(first)])
+        assert main(["trace", "pack", str(first), str(second)]) == 0
+        assert second.read_bytes() == first.read_bytes()

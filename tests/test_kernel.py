@@ -1,0 +1,216 @@
+"""Equivalence tests for the columnar batch replay kernel.
+
+The contract mirrors ``test_fast_replay.py`` one rung down: replaying a
+:class:`ColumnarTrace` through the engine must produce metrics
+byte-identical to the generic per-event path — on all four paper
+workloads, with and without numpy, across qualifying and
+non-qualifying configurations.
+"""
+
+import pytest
+
+import repro.sim.kernel as kernel
+from repro.sim.engine import DistributedFileSystem
+from repro.sim.kernel import client_runs, scan_columns
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.events import Trace
+from repro.workloads.synthetic import make_workload
+
+WORKLOADS = ("server", "users", "write", "workstation")
+EVENTS = 4000
+CONFIG = dict(client_capacity=250, server_capacity=300, group_size=5)
+
+NUMPY_MODES = (False, True) if kernel.HAVE_NUMPY else (False,)
+
+
+@pytest.fixture(params=NUMPY_MODES, ids=lambda v: "numpy" if v else "pure")
+def numpy_mode(request, monkeypatch):
+    """Run the test body under both kernel implementations."""
+    monkeypatch.setattr(kernel, "HAVE_NUMPY", request.param)
+    return request.param
+
+
+def generic_engine_metrics(system, trace):
+    """Reference replay: per-event access() calls, no fast loop."""
+    for event in trace:
+        client = event.client_id or "client00"
+        system.access(client, event.file_id)
+    return system.metrics()
+
+
+class TestScanColumns:
+    def test_counts_match_trace(self, numpy_mode):
+        trace = make_workload("write", EVENTS)
+        ctrace = ColumnarTrace.from_trace(trace)
+        scan = scan_columns(
+            ctrace.file_codes, ctrace.kind_codes, len(ctrace.file_symbols)
+        )
+        assert scan.events == EVENTS
+        assert scan.unique_files == trace.unique_files()
+        assert sum(scan.kind_counts) == EVENTS
+        assert scan.open_events == sum(
+            1 for event in trace if event.is_open
+        )
+        assert scan.mutation_events == sum(
+            1 for event in trace if event.is_mutation
+        )
+
+    def test_no_kind_column_is_all_opens(self, numpy_mode):
+        ctrace = ColumnarTrace.from_trace(
+            Trace.from_file_ids(["a", "b", "a", "c"])
+        )
+        scan = scan_columns(ctrace.file_codes, ctrace.kind_codes)
+        assert scan.kind_counts == (4, 0, 0, 0, 0, 0)
+        assert scan.unique_files == 3
+
+    def test_empty_columns(self, numpy_mode):
+        scan = scan_columns([], None)
+        assert scan.events == 0 and scan.unique_files == 0
+
+    @pytest.mark.skipif(not kernel.HAVE_NUMPY, reason="needs numpy")
+    def test_numpy_and_fallback_identical(self, monkeypatch):
+        ctrace = ColumnarTrace.from_trace(make_workload("users", EVENTS))
+        fast = scan_columns(
+            ctrace.file_codes, ctrace.kind_codes, len(ctrace.file_symbols)
+        )
+        monkeypatch.setattr(kernel, "HAVE_NUMPY", False)
+        slow = scan_columns(
+            ctrace.file_codes, ctrace.kind_codes, len(ctrace.file_symbols)
+        )
+        assert fast == slow
+
+
+class TestClientRuns:
+    def test_segments_cover_and_label(self, numpy_mode):
+        trace = make_workload("write", EVENTS)  # two clients
+        ctrace = ColumnarTrace.from_trace(trace)
+        runs = client_runs(ctrace)
+        assert runs[0][1] == 0 and runs[-1][2] == EVENTS
+        flattened = []
+        for client, lo, hi in runs:
+            assert lo < hi
+            flattened.extend([client] * (hi - lo))
+        assert flattened == [
+            event.client_id or "client00" for event in trace
+        ]
+
+    def test_constant_client_single_run(self, numpy_mode):
+        ctrace = ColumnarTrace.from_trace(make_workload("server", 500))
+        assert len(client_runs(ctrace)) == 1
+
+    def test_unattributed_events_default_client(self, numpy_mode):
+        ctrace = ColumnarTrace.from_trace(Trace.from_file_ids(["a", "b"]))
+        assert client_runs(ctrace) == [("client00", 0, 2)]
+
+    def test_empty_trace_no_runs(self, numpy_mode):
+        assert client_runs(ColumnarTrace.from_trace(Trace())) == []
+
+
+class TestKernelReplay:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_matches_generic_path(self, workload, numpy_mode):
+        trace = make_workload(workload, EVENTS)
+        ctrace = ColumnarTrace.from_trace(trace)
+        reference = generic_engine_metrics(
+            DistributedFileSystem(**CONFIG), trace
+        )
+        system = DistributedFileSystem(**CONFIG)
+        assert system._fast_replay_ok()
+        assert system.replay(ctrace) == reference
+
+    def test_no_server_and_uncooperative_configs(self, numpy_mode):
+        ctrace = ColumnarTrace.from_trace(make_workload("write", EVENTS))
+        trace = ctrace.to_trace()
+        for config in (
+            dict(client_capacity=200, server_capacity=0, group_size=5),
+            dict(client_capacity=200, server_capacity=150, group_size=3,
+                 cooperative=False),
+            dict(client_capacity=200, server_capacity=0, group_size=1,
+                 cooperative=False),
+        ):
+            reference = generic_engine_metrics(
+                DistributedFileSystem(**config), trace
+            )
+            assert (
+                DistributedFileSystem(**config).replay(ctrace) == reference
+            ), config
+
+    def test_non_qualifying_config_falls_back(self, numpy_mode):
+        # Hybrid successor lists are outside the kernel's contract; the
+        # columnar trace must be decoded and replayed generically.
+        ctrace = ColumnarTrace.from_trace(make_workload("server", EVENTS))
+        system = DistributedFileSystem(
+            client_capacity=100, successor_policy="hybrid"
+        )
+        assert not system._fast_replay_ok()
+        metrics = system.replay(ctrace)
+        assert metrics.total_client_accesses == EVENTS
+
+    def test_repeated_replay_carries_previous(self, numpy_mode):
+        # Two consecutive replays must chain successor state exactly as
+        # the string-keyed event path does: tracker._previous crosses
+        # the boundary and links the last file to the next replay's
+        # first.  (intern=True is the one path that differs here — its
+        # fresh per-replay symbol table maps the carried key to an
+        # unused code, a long-documented caveat.)
+        ctrace = ColumnarTrace.from_trace(make_workload("server", EVENTS))
+        trace = ctrace.to_trace()
+        reference = DistributedFileSystem(**CONFIG)
+        reference.replay(trace)
+        reference.replay(trace)
+        system = DistributedFileSystem(**CONFIG)
+        system.replay(ctrace)
+        assert system.replay(ctrace) == reference.metrics()
+
+
+class TestWindowedColumnarReplay:
+    def test_samples_identical_to_event_path(self, numpy_mode):
+        from repro.obs.timeseries import WindowedCollector, windowed_replay
+
+        ctrace = ColumnarTrace.from_trace(make_workload("write", EVENTS))
+        trace = ctrace.to_trace()
+        events_collector = WindowedCollector(window=500)
+        columnar_collector = WindowedCollector(window=500)
+        event_metrics = windowed_replay(
+            DistributedFileSystem(**CONFIG), trace,
+            collector=events_collector,
+        )
+        columnar_metrics = windowed_replay(
+            DistributedFileSystem(**CONFIG), ctrace,
+            collector=columnar_collector,
+        )
+        assert columnar_metrics == event_metrics
+        assert [
+            sample.deterministic_dict() for sample in columnar_collector.samples
+        ] == [
+            sample.deterministic_dict() for sample in events_collector.samples
+        ]
+
+
+class TestKernelObservability:
+    def test_counters_match_fast_loop(self, numpy_mode):
+        from repro.obs import collecting
+
+        ctrace = ColumnarTrace.from_trace(make_workload("write", EVENTS))
+        trace = ctrace.to_trace()
+        with collecting() as fast_registry:
+            DistributedFileSystem(**CONFIG).replay(trace, intern=True)
+        with collecting() as kernel_registry:
+            DistributedFileSystem(**CONFIG).replay(ctrace)
+        fast = fast_registry.snapshot()
+        batch = kernel_registry.snapshot()
+        for name in (
+            "engine.client.hits",
+            "engine.client.misses",
+            "engine.server.hits",
+            "engine.server.misses",
+            "engine.store.fetches",
+            "engine.remote_requests",
+            "successors.transitions",
+            "cache.lru.hits",
+            "cache.lru.misses",
+            "cache.lru.evictions",
+            "cache.lru.installs",
+        ):
+            assert batch["counters"][name] == fast["counters"][name], name
+        assert "engine.replay.kernel.ns" in batch["histograms"]
