@@ -6,7 +6,7 @@
 BENCH_JSON ?= BENCH_micro.json
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke charts examples report csv all clean
+.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke serve-smoke charts examples report csv all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -61,6 +61,14 @@ ts-smoke:
 		--events 6000 --window 500 --ts-out ts_smoke.jsonl
 	PYTHONPATH=src $(PYTHON) scripts/check_timeseries.py ts_smoke.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro drift ts_smoke.jsonl --history 4
+
+# Serve/slam smoke: start the daemon on the CI scenario, slam it from
+# worker processes, and assert the served hit-ratio matches an
+# in-process replay of the daemon's own journal (exactly, in practice;
+# 1% is the acceptance bound), then SIGTERM and expect a clean exit.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/check_serve.py scenarios/smoke.json \
+		--events 5000 --workers 2
 
 charts:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Serve/slam smoke: the daemon must agree with an in-process replay.
+
+Self-contained mode (the CI ``serve-smoke`` leg, also ``make
+serve-smoke``)::
+
+    PYTHONPATH=src python scripts/check_serve.py scenarios/smoke.json
+
+* starts ``python -m repro serve <scenario> --port-file <tmp>`` as a
+  subprocess and waits for the bound port to be announced;
+* slams it with the scenario's own workload from worker processes
+  (default ``--events 5000 --workers 2``);
+* downloads the daemon's access journal (``GET /journal``) and replays
+  it through a fresh, identically-configured
+  :class:`~repro.core.aggregating_cache.AggregatingServerCache`;
+* asserts the served hit-ratio matches the in-process replay within
+  ``--tolerance`` (default 1%).  Because the journal records the
+  daemon's own arrival order, the counts are expected to match
+  *exactly* — the tolerance only exists as the acceptance bound;
+* sends SIGTERM and asserts the daemon exits cleanly (code 0) without
+  leaving the socket behind.
+
+Checking a daemon somebody else started::
+
+    python scripts/check_serve.py scenarios/smoke.json --url http://127.0.0.1:8080
+
+In ``--url`` mode the script only slams and compares; lifecycle
+(start/SIGTERM/exit-code) stays with the caller.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # runnable without PYTHONPATH too
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.serve import (  # noqa: E402
+    ServeConnection,
+    load_scenario,
+    run_slam,
+)
+from repro.serve.schema import replay_journal  # noqa: E402
+from repro.workloads.synthetic import make_workload  # noqa: E402
+
+PORT_WAIT_S = 20.0
+EXIT_WAIT_S = 10.0
+
+
+def _fail(message: str) -> "SystemExit":
+    print(f"FAIL: {message}")
+    return SystemExit(1)
+
+
+def _wait_for_port(port_file: Path, process: subprocess.Popen) -> int:
+    deadline = time.monotonic() + PORT_WAIT_S
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise _fail(
+                f"daemon exited early with code {process.returncode} "
+                f"before announcing a port"
+            )
+        try:
+            text = port_file.read_text(encoding="utf-8").strip()
+        except OSError:
+            text = ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise _fail(f"daemon did not announce a port within {PORT_WAIT_S:.0f}s")
+
+
+def _check_against(url: str, scenario, events: int, workers: int, batch: int,
+                   tolerance: float) -> int:
+    """Slam ``url`` and compare the served counters with a journal replay."""
+    seed = scenario.seed if scenario.seed is not None else 0
+    trace = make_workload(scenario.workload, events, seed)
+    source = list(trace.file_ids())
+    report = run_slam(url, source, workers=workers, batch=batch)
+    if report.errors:
+        raise _fail(f"slam reported {report.errors} request error(s)")
+    if report.events != events:
+        raise _fail(f"slam replayed {report.events} events, expected {events}")
+
+    conn = ServeConnection(url)
+    try:
+        stats = conn.stats()
+        _status, journal = conn.request("GET", "/journal")
+    finally:
+        conn.close()
+
+    if journal.get("truncated"):
+        raise _fail(
+            "daemon journal is truncated; raise journal.max_events in the "
+            "scenario (or restart the daemon) so the replay check can run"
+        )
+    entries = journal.get("entries", [])
+    fresh = scenario.build_cache()
+    replay_journal(fresh, entries)
+    local = fresh.stats_dict()
+    served = stats["cache"]
+
+    for key in ("hits", "misses", "accesses", "evictions", "group_fetches"):
+        if served.get(key) != local.get(key):
+            print(
+                f"note: served {key}={served.get(key)} vs journal replay "
+                f"{key}={local.get(key)}"
+            )
+    served_ratio = float(served["hit_ratio"])
+    local_ratio = float(local["hit_ratio"])
+    delta = abs(served_ratio - local_ratio)
+    print(
+        f"served hit-ratio {served_ratio:.6f} vs journal replay "
+        f"{local_ratio:.6f} (|delta| {delta:.6f}, tolerance {tolerance})"
+    )
+    if delta > tolerance:
+        raise _fail(
+            f"served hit-ratio diverges from in-process replay by {delta:.6f} "
+            f"(> {tolerance})"
+        )
+    print(
+        f"OK: {report.events} events via {workers} worker(s), "
+        f"p50 {report.p50_ms:.3f}ms p99 {report.p99_ms:.3f}ms, "
+        f"{report.events_per_sec:,.0f} events/s, "
+        f"{report.retries} retrie(s)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", type=Path, help="scenario file to serve/compare")
+    parser.add_argument(
+        "--url",
+        default="",
+        help="check an already-running daemon instead of spawning one",
+    )
+    parser.add_argument("--events", type=int, default=5000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--tolerance", type=float, default=0.01)
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    if args.url:
+        return _check_against(
+            args.url, scenario, args.events, args.workers, args.batch,
+            args.tolerance,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        port_file = Path(tmp) / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(args.scenario),
+                "--port", "0", "--port-file", str(port_file),
+            ],
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            port = _wait_for_port(port_file, process)
+            url = f"http://127.0.0.1:{port}"
+            print(f"daemon pid {process.pid} listening on {url}")
+            code = _check_against(
+                url, scenario, args.events, args.workers, args.batch,
+                args.tolerance,
+            )
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        try:
+            exit_code = process.wait(timeout=EXIT_WAIT_S)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+            raise _fail(f"daemon ignored SIGTERM for {EXIT_WAIT_S:.0f}s")
+        if exit_code != 0:
+            raise _fail(f"daemon exited with code {exit_code} after SIGTERM")
+        print("daemon exited cleanly on SIGTERM")
+        return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ is usable standalone::
     repro workloads [name]                # the synthetic workload catalog
     repro report --out report.md          # regenerate everything
     repro generate / inspect / anonymize  # trace tooling
+    repro serve scenarios/smoke.json      # aggregating-cache daemon (HTTP API)
+    repro slam --url http://host:port     # multi-process load driver
 """
 
 from __future__ import annotations
@@ -1027,6 +1029,82 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the aggregating-cache daemon for one scenario, until stopped.
+
+    Blocks in :meth:`repro.serve.server.CacheDaemon.run`: SIGTERM,
+    SIGINT (Ctrl-C), or a ``POST /shutdown`` all exit cleanly with
+    status 0 and a released socket.  ``--port-file`` publishes the
+    bound port for scripted callers (scenarios default to port 0, so
+    parallel CI legs never collide).
+    """
+    from .serve import load_scenario
+    from .serve.server import CacheDaemon
+
+    scenario = load_scenario(args.scenario)
+    daemon = CacheDaemon(
+        scenario,
+        host=args.host if args.host else None,
+        port=args.port,
+    )
+    return daemon.run(port_file=args.port_file)
+
+
+def _cmd_slam(args: argparse.Namespace) -> int:
+    """Slam a running daemon with a trace from N worker processes.
+
+    The traffic source is, in priority order: ``--trace`` (a text
+    trace or a zero-copy ``.ctrace`` artifact), the ``--workload``
+    family, or the workload named by ``--scenario`` (so one scenario
+    file describes both sides of a load test).  Prints the latency
+    report as a table and optionally writes it as ``repro.slam/1``
+    JSON for CI artifacts.
+    """
+    from .serve.client import run_slam, write_report
+    from .traces.columnar import validate_columnar
+
+    workload, events, seed = args.workload, args.events, args.seed
+    if args.scenario is not None:
+        from .serve import load_scenario
+
+        scenario = load_scenario(args.scenario)
+        workload = workload or scenario.workload
+        events = events if events is not None else scenario.events
+        seed = seed if seed is not None else scenario.seed
+    if events is None:
+        events = DEFAULT_EVENTS
+
+    if args.trace is not None:
+        if validate_columnar(args.trace):
+            source = args.trace  # workers re-open the mmap themselves
+            described = f"ctrace {args.trace}"
+        else:
+            source = read_trace(args.trace).file_ids()
+            described = f"trace {args.trace} ({len(source)} events)"
+    else:
+        workload = workload or "server"
+        source = list(make_workload(workload, events, seed).file_ids())
+        described = f"workload {workload} ({len(source)} events)"
+
+    print(
+        f"slamming {args.url} with {described}: "
+        f"{args.workers} worker(s), batch {args.batch}"
+    )
+    report = run_slam(
+        args.url,
+        source,
+        workers=args.workers,
+        batch=args.batch,
+        timeout=args.timeout,
+    )
+    print()
+    print(rows_to_markdown(report.rows()))
+    if args.report is not None:
+        write_report(report, args.report)
+        print(f"\nwrote repro.slam/1 report to {args.report}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1465,6 +1543,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("trace", type=Path)
     inspect.set_defaults(handler=_cmd_inspect)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "host an aggregating server cache behind a JSON-over-HTTP "
+            "API, configured by a scenario file"
+        ),
+    )
+    serve.add_argument(
+        "scenario", type=Path, help="scenario file (see scenarios/README.md)"
+    )
+    serve.add_argument(
+        "--host", default="", help="bind host (overrides the scenario)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (overrides the scenario; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    slam = subparsers.add_parser(
+        "slam",
+        help=(
+            "replay a trace against a running daemon from N worker "
+            "processes; report latency percentiles and served hit ratio"
+        ),
+    )
+    slam.add_argument(
+        "--url",
+        required=True,
+        help="daemon base URL (http://HOST:PORT, as printed by repro serve)",
+    )
+    slam.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        help="scenario file supplying the default workload/events/seed",
+    )
+    slam.add_argument(
+        "--workload",
+        default="",
+        choices=["", *sorted(WORKLOADS)],
+        help="synthetic workload to replay (default: scenario's, else server)",
+    )
+    slam.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help=f"trace length (default: scenario's, else {DEFAULT_EVENTS})",
+    )
+    slam.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    slam.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="replay a stored trace instead (.ctrace shards stay zero-copy)",
+    )
+    slam.add_argument(
+        "--workers", type=int, default=2, help="load-driver worker processes"
+    )
+    slam.add_argument(
+        "--batch", type=int, default=16, help="events per /fetch request"
+    )
+    slam.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout (s)"
+    )
+    slam.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write the latency report as repro.slam/1 JSON",
+    )
+    slam.set_defaults(handler=_cmd_slam)
 
     trace_cmd = subparsers.add_parser(
         "trace", help="columnar binary trace tooling (pack / info)"

@@ -17,6 +17,30 @@ Two deployments of the same idea:
   storage on each of its own misses.  It implements the standard
   :class:`~repro.caching.base.Cache` interface so it drops into
   :class:`~repro.caching.multilevel.TwoLevelHierarchy` beside LRU/LFU.
+
+Thread-safety audit (for the ``repro serve`` daemon)
+----------------------------------------------------
+These classes are **not** thread-safe, deliberately.  Every structure
+on the access path is unsynchronized CPython dict machinery mutated
+mid-operation: the LRU ``OrderedDict`` (``move_to_end`` during
+lookup), the per-file :class:`~repro.core.successors.LRUSuccessorList`
+orders, the tracker's ``_previous`` transition cursor, and the plain
+integer counters on :class:`~repro.caching.base.CacheStats` and
+:class:`GroupFetchLog` (``+=`` is a read-modify-write, droppable under
+interleaving).  One ``access()`` call touches all four in sequence, so
+there is no linearization point short of the whole call — per-field
+locks would still produce torn hit/miss accounting and corrupt
+eviction order.
+
+Adding internal locks here would tax the replay fast paths (millions
+of uncontended acquisitions per figure) to benefit only the one
+concurrent deployment, so the concurrency boundary lives with the
+owner instead: :class:`repro.serve.server.CacheDaemon` serializes
+every cache touch — accesses, invalidations, and stats snapshots —
+under a single lock (a single-writer design; batches amortize the
+acquisition).  Any future concurrent embedder must do the same:
+hold one lock across the *entire* ``access()``/``invalidate()``
+call plus whatever counter reads must be consistent with it.
 """
 
 from __future__ import annotations
@@ -491,6 +515,44 @@ class AggregatingServerCache(Cache):
 
     def _remove(self, key: str) -> None:
         self._cache.invalidate(key)
+
+    def stats_dict(self) -> dict:
+        """One JSON-ready snapshot of every counter this cache keeps.
+
+        The ``repro serve`` daemon's ``/stats`` payload and Prometheus
+        rendering are built from this, and ``scripts/check_serve.py``
+        compares two of them (served vs journal-replayed) field by
+        field — so the dict deliberately carries *derived* ratios too,
+        computed from the same counters both sides hold.
+
+        ``prefetch_efficiency`` is installed companions per offered
+        companion slot (``predicted_installed / (group_fetches *
+        (g - 1))``), matching the time-series definition in
+        :mod:`repro.obs.timeseries`.
+        """
+        stats = self.stats
+        log = self.fetch_log
+        slots = log.group_fetches * max(self.group_size - 1, 0)
+        return {
+            "policy": self.policy_name,
+            "capacity": self.capacity,
+            "group_size": self.group_size,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "accesses": stats.accesses,
+            "hit_ratio": stats.hit_rate,
+            "evictions": stats.evictions,
+            "installs": stats.installs,
+            "group_fetches": log.group_fetches,
+            "files_retrieved": log.files_retrieved,
+            "predicted_installed": log.predicted_installed,
+            "mean_group_size": log.mean_group_size,
+            "prefetch_efficiency": (
+                log.predicted_installed / slots if slots else 0.0
+            ),
+            "resident": len(self),
+            "metadata_entries": self.tracker.metadata_entries(),
+        }
 
     def __len__(self) -> int:
         return len(self._cache)

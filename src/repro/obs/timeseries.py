@@ -807,8 +807,16 @@ class MetricsServer:
 
     Serves whatever ``render`` returns (typically
     ``lambda: prometheus_text(collector)``) from a daemon thread, so a
-    Prometheus scraper can watch a multi-hour sweep live.  Binding to
-    port 0 picks a free port; the bound port is exposed as ``.port``.
+    Prometheus scraper can watch a multi-hour sweep live.
+
+    The default port is **0** — the kernel picks a free one — and the
+    bound address is read back into ``.host`` / ``.port`` / ``.url``
+    after binding.  Tests and parallel CI legs must keep that default
+    and dial the reported port instead of hard-coding one; two suites
+    scraping fixed ports is exactly the flaky collision this contract
+    eliminates (``repro.serve.CacheDaemon`` follows the same rule).
+    ``close()`` is idempotent and the server is a context manager, so
+    teardown paths can never leak the socket or double-shutdown.
     """
 
     def __init__(
@@ -839,6 +847,7 @@ class MetricsServer:
         self.render = render
         self._httpd = ThreadingHTTPServer((host, port), Handler)
         self.host, self.port = self._httpd.server_address[:2]
+        self._closed = False
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-metrics", daemon=True
         )
@@ -852,9 +861,27 @@ class MetricsServer:
         return self
 
     def close(self) -> None:
-        self._httpd.shutdown()
+        """Stop serving and release the socket; safe to call twice.
+
+        ``shutdown()`` is only issued when the serve loop actually ran
+        (it blocks forever otherwise); the socket is released either
+        way, so a constructed-but-never-started server still cleans up.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread.is_alive():
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
         self._httpd.server_close()
-        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        if not self._thread.is_alive():
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def serve_metrics(

@@ -1,0 +1,532 @@
+"""The aggregating-cache daemon behind ``repro serve``.
+
+:class:`CacheDaemon` hosts one shared
+:class:`~repro.core.aggregating_cache.AggregatingServerCache` inside a
+stdlib ``ThreadingHTTPServer`` and speaks the ``repro.serve/1`` wire
+schema.  The design constraints:
+
+* **Single-writer cache.**  The cache and its successor metadata are
+  plain dict machinery with no internal synchronization (see the
+  thread-safety audit in :mod:`repro.core.aggregating_cache`), so the
+  daemon serializes *every* cache touch — accesses, invalidations,
+  journal appends, and stats snapshots — under one lock.  Handler
+  threads do their socket and JSON work concurrently; only the cache
+  critical section is serial.  A ``/fetch`` batch is processed under a
+  single lock acquisition, which is both faster (one acquire per N
+  events) and what makes the journal order equal the access order.
+* **Deterministic accounting.**  When journaling is enabled the daemon
+  records every access and invalidation in arrival order; replaying
+  the journal through a fresh cache with the same scenario reproduces
+  the served hit/miss counters exactly.  ``scripts/check_serve.py``
+  rests on that equality.
+* **Port 0 by default.**  Scenarios bind an ephemeral port unless they
+  pin one; the chosen port is exposed as :attr:`CacheDaemon.port`,
+  printed on startup, and optionally written to ``--port-file`` so
+  scripted callers (CI) never race on a hard-coded port.
+* **Clean exit.**  ``run()`` installs SIGTERM/SIGINT handlers that
+  wake the serve loop; :meth:`close` is idempotent and always releases
+  the listening socket, so a supervised daemon dies without orphans.
+
+The daemon process keeps the repository's observability stance: no
+per-event registry traffic unless the operator turns collection on.
+Request latency is recorded in a bounded ring local to the daemon and
+summarized as percentiles in ``/stats`` and ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import schema as wire
+from .scenario import Scenario
+
+#: Latency samples retained for percentile estimates.  A bounded ring:
+#: long-lived daemons keep a sliding window of the newest samples while
+#: the cumulative count/total stay exact.
+LATENCY_RING = 65536
+
+
+class LatencyRing:
+    """Bounded per-request latency samples with exact cumulative totals."""
+
+    def __init__(self, maxlen: int = LATENCY_RING):
+        self.samples: deque = deque(maxlen=maxlen)
+        self.count = 0
+        self.total_ns = 0
+
+    def observe(self, ns: int) -> None:
+        self.samples.append(ns)
+        self.count += 1
+        self.total_ns += ns
+
+    def summary(self) -> Dict[str, Any]:
+        """count/mean plus p50/p95/p99 over the retained window."""
+        from .client import percentile
+
+        window = sorted(self.samples)
+        return {
+            "count": self.count,
+            "mean_ns": (self.total_ns / self.count) if self.count else 0.0,
+            "window": len(window),
+            "p50_ns": percentile(window, 0.50),
+            "p95_ns": percentile(window, 0.95),
+            "p99_ns": percentile(window, 0.99),
+        }
+
+
+class CacheDaemon:
+    """One shared aggregating server cache behind the JSON-over-HTTP API.
+
+    Parameters
+    ----------
+    scenario:
+        The validated deployment description; supplies the cache
+        configuration, bind address, and journal policy.
+    host / port:
+        Optional overrides of the scenario's bind address (the CLI's
+        ``--host`` / ``--port`` flags).  Port 0 binds an ephemeral port;
+        read the chosen one from :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ):
+        self.scenario = scenario
+        self.cache = scenario.build_cache()
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._requests: Dict[str, int] = {}
+        self._errors = 0
+        self._invalidations = 0
+        self._invalidation_misses = 0
+        self._latency = LatencyRing()
+        self._journal: Optional[deque] = (
+            deque(maxlen=scenario.journal_max_events)
+            if scenario.journal_enabled
+            else None
+        )
+        self._journaled = 0
+        self._started = time.time()
+        self._stop = threading.Event()
+        self._closed = False
+
+        daemon = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"  # keep-alive: slam reuses connections
+            # Without this, Nagle + delayed ACK adds ~40ms to every
+            # small keep-alive response and slam latency numbers measure
+            # the TCP stack instead of the cache.
+            disable_nagle_algorithm = True
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                daemon._dispatch(self, "GET")
+
+            def do_POST(self):  # noqa: N802 - http.server API
+                daemon._dispatch(self, "POST")
+
+            def log_message(self, format, *args):  # noqa: A002 - API name
+                pass  # per-request lines would drown the terminal under slam
+
+        bind_host = host if host is not None else scenario.host
+        bind_port = port if port is not None else scenario.port
+        self._httpd = ThreadingHTTPServer((bind_host, bind_port), Handler)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CacheDaemon":
+        """Serve from a background thread (tests, embedded use)."""
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket; safe to call twice.
+
+        ``shutdown()`` is only issued when the serve loop actually ran
+        (it blocks forever otherwise); the socket is released either
+        way, so a constructed-but-never-started daemon still cleans up.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._thread.is_alive():
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "CacheDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request_stop(self) -> None:
+        """Ask the blocking :meth:`run` loop to exit (thread-safe)."""
+        self._stop.set()
+
+    def run(
+        self,
+        port_file: Optional[Path] = None,
+        announce=print,
+    ) -> int:
+        """Blocking CLI entry: serve until SIGTERM/SIGINT or ``/shutdown``.
+
+        Installs signal handlers (restored on exit), optionally writes
+        the bound port to ``port_file`` for scripted callers, and always
+        closes the socket on the way out.  Returns the process exit
+        code (0 for every clean stop).
+        """
+        received: List[int] = []
+
+        def handle(signum, frame):
+            received.append(signum)
+            self._stop.set()
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handle)
+            except ValueError:  # pragma: no cover - non-main threads
+                pass
+        self.start()
+        if port_file is not None:
+            Path(port_file).write_text(f"{self.port}\n", encoding="utf-8")
+        if announce is not None:
+            announce(
+                f"serving {wire.SERVE_SCHEMA} scenario "
+                f"{self.scenario.name!r} on {self.url} "
+                f"(capacity {self.scenario.capacity}, "
+                f"g={self.scenario.group_size}, pid {self._pid()})"
+            )
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - signal path covers it
+            pass
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.close()
+            if announce is not None:
+                reason = (
+                    f"signal {received[0]}" if received else "shutdown request"
+                )
+                announce(
+                    f"stopped after {self._seq} accesses ({reason}); "
+                    f"socket released"
+                )
+        return 0
+
+    @staticmethod
+    def _pid() -> int:
+        import os
+
+        return os.getpid()
+
+    # -- request dispatch --------------------------------------------------
+    _ROUTES = {
+        ("POST", "/open"),
+        ("POST", "/fetch"),
+        ("POST", "/invalidate"),
+        ("POST", "/shutdown"),
+        ("GET", "/stats"),
+        ("GET", "/metrics"),
+        ("GET", "/journal"),
+        ("GET", "/healthz"),
+    }
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        started = time.perf_counter_ns()
+        path = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if (method, path) not in self._ROUTES:
+                known = any(path == route for _m, route in self._ROUTES)
+                if known:
+                    raise wire.WireError(
+                        f"{path} does not accept {method}", status=405
+                    )
+                raise wire.WireError(f"unknown endpoint {path}", status=404)
+            if method == "POST":
+                length = int(handler.headers.get("Content-Length") or 0)
+                if length > wire.MAX_BODY_BYTES:
+                    raise wire.WireError(
+                        f"body of {length} bytes exceeds "
+                        f"{wire.MAX_BODY_BYTES}",
+                        status=413,
+                    )
+                raw = handler.rfile.read(length) if length else b""
+            else:
+                raw = b""
+            status, payload = self._handle(method, path, raw)
+        except wire.WireError as error:
+            with self._lock:
+                self._errors += 1
+            self._respond(
+                handler,
+                error.status,
+                wire.error_body(str(error), error.status),
+            )
+            return
+        except Exception as error:  # pragma: no cover - defensive 500
+            with self._lock:
+                self._errors += 1
+            self._respond(handler, 500, wire.error_body(repr(error), 500))
+            return
+        body = (
+            payload
+            if isinstance(payload, bytes)
+            else json.dumps(payload).encode("utf-8")
+        )
+        content_type = (
+            "text/plain; version=0.0.4; charset=utf-8"
+            if path == "/metrics"
+            else "application/json"
+        )
+        self._respond(handler, status, body, content_type)
+        elapsed = time.perf_counter_ns() - started
+        with self._lock:
+            self._requests[path] = self._requests.get(path, 0) + 1
+            if path in ("/open", "/fetch"):
+                self._latency.observe(elapsed)
+
+    @staticmethod
+    def _respond(
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", content_type)
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to clean up
+
+    # -- endpoint handlers -------------------------------------------------
+    def _handle(
+        self, method: str, path: str, raw: bytes
+    ) -> Tuple[int, Any]:
+        if path == "/open":
+            return 200, self._do_open(wire.parse_body(raw, "open"))
+        if path == "/fetch":
+            return 200, self._do_fetch(wire.parse_body(raw, "fetch"))
+        if path == "/invalidate":
+            return 200, self._do_invalidate(wire.parse_body(raw, "invalidate"))
+        if path == "/stats":
+            return 200, self.stats_payload()
+        if path == "/metrics":
+            return 200, self.prometheus_text().encode("utf-8")
+        if path == "/journal":
+            return 200, self._do_journal()
+        if path == "/healthz":
+            return 200, {"ok": True, "scenario": self.scenario.name}
+        if path == "/shutdown":
+            if not self.scenario.allow_shutdown:
+                raise wire.WireError(
+                    "shutdown over the wire is disabled by this scenario",
+                    status=403,
+                )
+            # Respond first, then wake the run() loop; close() must not
+            # run on this handler thread (shutdown() would deadlock).
+            self._stop.set()
+            return 200, {"stopping": True}
+        raise wire.WireError(f"unknown endpoint {path}", status=404)  # pragma: no cover
+
+    def _do_open(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        file_id, _client = wire.parse_open(payload)
+        cache = self.cache
+        with self._lock:
+            installed_before = cache.fetch_log.predicted_installed
+            hit = cache.access(file_id)
+            if hit:
+                group: List[str] = []
+                installed = 0
+            else:
+                # The tracker already observed file_id inside access(),
+                # and build() is read-only over the metadata, so this
+                # re-derivation returns exactly the group access() built.
+                group = list(cache.builder.build(file_id))
+                installed = cache.fetch_log.predicted_installed - installed_before
+            if self._journal is not None:
+                self._journal.append(wire.journal_entry(file_id))
+                self._journaled += 1
+            self._seq += 1
+            seq = self._seq
+        return {"hit": hit, "group": group, "installed": installed, "seq": seq}
+
+    def _do_fetch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        files, _client, detail = wire.parse_fetch(payload)
+        cache = self.cache
+        results: Optional[List[bool]] = [] if detail else None
+        hits = 0
+        with self._lock:
+            access = cache.access
+            journal = self._journal
+            if journal is None:
+                for file_id in files:
+                    if access(file_id):
+                        hits += 1
+                        if results is not None:
+                            results.append(True)
+                    elif results is not None:
+                        results.append(False)
+            else:
+                entry = wire.journal_entry
+                for file_id in files:
+                    journal.append(entry(file_id))
+                    if access(file_id):
+                        hits += 1
+                        if results is not None:
+                            results.append(True)
+                    elif results is not None:
+                        results.append(False)
+                self._journaled += len(files)
+            self._seq += len(files)
+            seq = self._seq
+        response: Dict[str, Any] = {
+            "count": len(files),
+            "hits": hits,
+            "misses": len(files) - hits,
+            "seq": seq,
+        }
+        if results is not None:
+            response["results"] = results
+        return response
+
+    def _do_invalidate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        file_id = wire.parse_invalidate(payload)
+        with self._lock:
+            dropped = self.cache.invalidate(file_id)
+            if dropped:
+                self._invalidations += 1
+                if self._journal is not None:
+                    self._journal.append(
+                        wire.journal_entry(file_id, invalidate=True)
+                    )
+                    self._journaled += 1
+            else:
+                self._invalidation_misses += 1
+        if not dropped:
+            raise wire.WireError(
+                f"file {file_id!r} is not resident", status=404
+            )
+        return {"invalidated": True, "file": file_id}
+
+    def _do_journal(self) -> Dict[str, Any]:
+        if self._journal is None:
+            raise wire.WireError(
+                "journaling is disabled by this scenario", status=404
+            )
+        with self._lock:
+            entries = list(self._journal)
+            total = self._journaled
+        return {
+            "entries": entries,
+            "total": total,
+            "truncated": total > len(entries),
+        }
+
+    # -- observable state --------------------------------------------------
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``/stats`` snapshot (also usable in-process)."""
+        with self._lock:
+            cache_stats = self.cache.stats_dict()
+            requests = dict(self._requests)
+            latency = self._latency.summary()
+            payload = {
+                "schema": wire.SERVE_SCHEMA,
+                "scenario": self.scenario.to_dict(),
+                "uptime_seconds": time.time() - self._started,
+                "accesses": self._seq,
+                "requests": requests,
+                "errors": self._errors,
+                "invalidations": self._invalidations,
+                "invalidation_misses": self._invalidation_misses,
+                "journal": {
+                    "enabled": self._journal is not None,
+                    "events": self._journaled,
+                    "retained": (
+                        len(self._journal) if self._journal is not None else 0
+                    ),
+                },
+                "latency_ns": latency,
+                "cache": cache_stats,
+            }
+        return payload
+
+    def prometheus_text(self, prefix: str = "repro_serve") -> str:
+        """Render the daemon's counters in Prometheus text format.
+
+        The same exposition dialect as
+        :func:`repro.obs.timeseries.prometheus_text` — ``# HELP`` /
+        ``# TYPE`` pairs, ``_total`` counters, latest-value gauges,
+        ``# EOF``-terminated — so one scrape config covers both the
+        replay telemetry endpoint and the daemon.
+        """
+        stats = self.stats_payload()
+        cache = stats["cache"]
+        latency = stats["latency_ns"]
+        lines: List[str] = []
+
+        def metric(name: str, kind: str, help_text: str, value) -> None:
+            full = f"{prefix}_{name}"
+            lines.append(f"# HELP {full} {help_text}.")
+            lines.append(f"# TYPE {full} {kind}")
+            lines.append(f"{full} {value:.6g}" if isinstance(value, float) else f"{full} {value}")
+
+        metric("accesses_total", "counter", "Demand accesses served", stats["accesses"])
+        metric("hits_total", "counter", "Server cache hits", cache["hits"])
+        metric("misses_total", "counter", "Server cache misses", cache["misses"])
+        metric("evictions_total", "counter", "Server cache evictions", cache["evictions"])
+        metric("installs_total", "counter", "Companions installed by group fetches", cache["installs"])
+        metric("group_fetches_total", "counter", "Group retrievals from the store", cache["group_fetches"])
+        metric("files_retrieved_total", "counter", "Files shipped from the store", cache["files_retrieved"])
+        metric("invalidations_total", "counter", "Files dropped by callback breaks", stats["invalidations"])
+        metric("errors_total", "counter", "Requests rejected or failed", stats["errors"])
+        for endpoint, count in sorted(stats["requests"].items()):
+            name = endpoint.strip("/").replace("/", "_") or "root"
+            metric(f"requests_{name}_total", "counter", f"Requests to {endpoint}", count)
+        metric("hit_ratio", "gauge", "Lifetime server hit ratio", float(cache["hit_ratio"]))
+        metric("mean_group_size", "gauge", "Mean files shipped per group fetch", float(cache["mean_group_size"]))
+        metric("resident_files", "gauge", "Files resident in the cache", cache["resident"])
+        metric("metadata_entries", "gauge", "Successor-list metadata entries", cache["metadata_entries"])
+        metric("uptime_seconds", "gauge", "Daemon uptime", float(stats["uptime_seconds"]))
+        for name in ("p50_ns", "p95_ns", "p99_ns"):
+            metric(
+                f"latency_{name}",
+                "gauge",
+                f"Request latency {name[:-3]} over the retained window",
+                float(latency[name]),
+            )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def serve_scenario(
+    scenario: Scenario,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> CacheDaemon:
+    """Construct and start a daemon for a scenario (background thread)."""
+    return CacheDaemon(scenario, host=host, port=port).start()

@@ -1,0 +1,560 @@
+"""Tests for the aggregating-cache daemon (``repro serve``) and the
+multi-process load driver (``repro slam``).
+
+Every daemon here binds port 0 (the ephemeral-port contract) and is
+closed via the context manager, so parallel test runs never collide on
+an address and no test leaks a socket.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.timeseries import MetricsServer
+from repro.serve import (
+    CacheDaemon,
+    ScenarioError,
+    ServeConnection,
+    SlamError,
+    load_scenario,
+    percentile,
+    run_slam,
+)
+from repro.serve import schema as wire
+from repro.serve.client import make_shards
+from repro.serve.scenario import Scenario, scenario_from_dict
+from repro.workloads.synthetic import make_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIOS = REPO_ROOT / "scenarios"
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    scenario = Scenario(capacity=100, group_size=4, events=500, seed=3)
+    for key, value in overrides.items():
+        setattr(scenario, key, value)
+    return scenario
+
+
+# -- scenario loading --------------------------------------------------------
+
+
+class TestScenario:
+    def test_empty_object_is_valid(self):
+        scenario = scenario_from_dict({})
+        assert scenario.port == 0
+        assert scenario.capacity == 300
+        assert scenario.journal_enabled
+
+    def test_repo_scenarios_load(self):
+        for name in ("smoke.json", "paper-server.json"):
+            scenario = load_scenario(SCENARIOS / name)
+            assert scenario.port == 0, f"{name} must keep the port-0 contract"
+            assert scenario.build_cache().capacity == scenario.capacity
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="group_sze"):
+            scenario_from_dict({"cache": {"group_sze": 5}})
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown top-level"):
+            scenario_from_dict({"cachee": {}})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ScenarioError, match="must be an integer"):
+            scenario_from_dict({"server": {"port": True}})
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ScenarioError, match="unsupported schema"):
+            scenario_from_dict({"schema": "repro.scenario/9"})
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ScenarioError, match="port"):
+            scenario_from_dict({"server": {"port": 70000}})
+        with pytest.raises(ScenarioError, match="capacity"):
+            scenario_from_dict({"cache": {"capacity": 0}})
+
+    def test_invalid_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_scenario(bad)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(tmp_path / "absent.json")
+
+    def test_round_trip_to_dict(self):
+        scenario = scenario_from_dict({"name": "x", "cache": {"capacity": 42}})
+        again = scenario_from_dict(scenario.to_dict())
+        assert again.capacity == 42
+        assert again.name == "x"
+
+
+# -- wire schema -------------------------------------------------------------
+
+
+class TestWire:
+    def test_parse_body_rejects_non_object(self):
+        with pytest.raises(wire.WireError, match="JSON object"):
+            wire.parse_body(b"[1, 2]")
+
+    def test_parse_body_rejects_empty(self):
+        with pytest.raises(wire.WireError, match="empty body"):
+            wire.parse_body(b"")
+
+    def test_parse_open_requires_file(self):
+        with pytest.raises(wire.WireError, match="'file'"):
+            wire.parse_open({})
+        with pytest.raises(wire.WireError, match="non-empty string"):
+            wire.parse_open({"file": ""})
+
+    def test_parse_fetch_validates_files(self):
+        with pytest.raises(wire.WireError, match="'files'"):
+            wire.parse_fetch({"files": []})
+        with pytest.raises(wire.WireError, match="non-empty string"):
+            wire.parse_fetch({"files": ["ok", 7]})
+        files, client, detail = wire.parse_fetch(
+            {"files": ["a", "b"], "client": "w1", "detail": True}
+        )
+        assert files == ["a", "b"] and client == "w1" and detail is True
+
+    def test_journal_entry_round_trip(self):
+        assert wire.decode_journal_entry(wire.journal_entry("f1")) == ("f1", False)
+        assert wire.decode_journal_entry(
+            wire.journal_entry("f1", invalidate=True)
+        ) == ("f1", True)
+
+    def test_validate_stats_requires_schema(self):
+        with pytest.raises(wire.WireError, match="schema"):
+            wire.validate_stats({"cache": {}})
+
+
+# -- percentile math ---------------------------------------------------------
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(list(range(101)), 0.95) == 95.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(SlamError):
+            percentile([1.0], 1.5)
+
+
+# -- sharding ----------------------------------------------------------------
+
+
+class TestShards:
+    def test_contiguous_cover(self):
+        shards = make_shards([f"f{i}" for i in range(10)], 3)
+        flat = [fid for shard in shards for fid in shard[1]]
+        assert flat == [f"f{i}" for i in range(10)]
+        assert len(shards) == 3
+
+    def test_small_trace_drops_empty_shards(self):
+        shards = make_shards(["a", "b"], 8)
+        assert len(shards) == 2
+
+    def test_rejects_bad_ctrace_path(self, tmp_path):
+        bogus = tmp_path / "x.ctrace"
+        bogus.write_bytes(b"not a ctrace")
+        with pytest.raises(SlamError, match="not a valid"):
+            make_shards(bogus, 2)
+
+
+# -- daemon endpoints --------------------------------------------------------
+
+
+class TestDaemon:
+    def test_two_daemons_bind_distinct_ephemeral_ports(self):
+        with CacheDaemon(tiny_scenario()) as one, CacheDaemon(tiny_scenario()) as two:
+            assert one.port != 0 and two.port != 0
+            assert one.port != two.port
+
+    def test_open_miss_ships_group_then_hit(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            _status, miss = conn.request("POST", "/open", {"file": "f1"})
+            assert miss["hit"] is False
+            assert miss["group"][0] == "f1"
+            assert miss["seq"] == 1
+            _status, hit = conn.request("POST", "/open", {"file": "f1"})
+            assert hit["hit"] is True
+            assert hit["group"] == []
+
+    def test_fetch_matches_in_process_cache(self):
+        scenario = tiny_scenario()
+        trace = list(make_workload("server", 800, 5).file_ids())
+        local = scenario.build_cache()
+        local_hits = sum(1 for fid in trace if local.access(fid))
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            served_hits = 0
+            for low in range(0, len(trace), 32):
+                body = conn.fetch(trace[low : low + 32])
+                served_hits += body["hits"]
+            stats = conn.stats()
+        assert served_hits == local_hits
+        assert stats["cache"]["hits"] == local_hits
+        assert stats["accesses"] == len(trace)
+
+    def test_fetch_detail_results(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            _status, body = conn.request(
+                "POST", "/fetch", {"files": ["a", "a", "b"], "detail": True}
+            )
+            assert body["results"] == [False, True, False]
+            assert body["hits"] == 1
+
+    def test_invalidate_resident_then_404(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.request("POST", "/open", {"file": "f1"})
+            _status, body = conn.request("POST", "/invalidate", {"file": "f1"})
+            assert body == {"invalidated": True, "file": "f1"}
+            status, error = conn.request(
+                "POST", "/invalidate", {"file": "f1"}, expect_error=True
+            )
+            assert status == 404
+            assert error["status"] == 404 and "not resident" in error["error"]
+
+    def test_malformed_json_is_structured_400(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn._connection().request(
+                "POST", "/open", body=b"{oops", headers={"Content-Type": "application/json"}
+            )
+            response = conn._connection().getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert payload["status"] == 400 and "JSON" in payload["error"]
+
+    def test_missing_field_is_400(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            status, body = conn.request("POST", "/open", {"client": "x"}, expect_error=True)
+            assert status == 400
+            assert "file" in body["error"]
+
+    def test_unknown_path_is_404_wrong_method_is_405(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            status, body = conn.request("GET", "/nope", expect_error=True)
+            assert status == 404 and body["status"] == 404
+            status, body = conn.request("GET", "/open", expect_error=True)
+            assert status == 405 and "does not accept" in body["error"]
+
+    def test_stats_shape_and_error_counter(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.request("POST", "/open", {"file": "f1"})
+            conn.request("GET", "/nope", expect_error=True)
+            stats = conn.stats()
+        assert stats["schema"] == wire.SERVE_SCHEMA
+        assert stats["errors"] == 1
+        assert stats["scenario"]["cache"]["capacity"] == 100
+        assert stats["journal"]["enabled"] and stats["journal"]["events"] == 1
+        assert stats["latency_ns"]["count"] >= 1
+
+    def test_metrics_prometheus_text_parses(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.fetch(["a", "b", "a"])
+            _status, body = conn.request("GET", "/metrics")
+        lines = body["text"].splitlines()
+        assert lines[-1] == "# EOF"
+        declared = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                _hash, _type, name, kind = line.split()
+                assert kind in ("counter", "gauge")
+                declared.add(name)
+            elif line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                assert name in declared
+                float(value)
+        assert "repro_serve_hits_total" in declared
+
+    def test_journal_round_trip_reproduces_counters(self):
+        scenario = tiny_scenario()
+        trace = list(make_workload("users", 600, 11).file_ids())
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            for low in range(0, len(trace), 25):
+                conn.fetch(trace[low : low + 25])
+            conn.request("POST", "/invalidate", {"file": trace[-1]})
+            _status, journal = conn.request("GET", "/journal")
+            stats = conn.stats()
+        assert not journal["truncated"]
+        fresh = scenario.build_cache()
+        wire.replay_journal(fresh, journal["entries"])
+        local = fresh.stats_dict()
+        assert local["hits"] == stats["cache"]["hits"]
+        assert local["misses"] == stats["cache"]["misses"]
+        assert local["evictions"] == stats["cache"]["evictions"]
+
+    def test_journal_disabled_404(self):
+        with CacheDaemon(tiny_scenario(journal_enabled=False)) as daemon:
+            with ServeConnection(daemon.url) as conn:
+                status, body = conn.request("GET", "/journal", expect_error=True)
+        assert status == 404 and "disabled" in body["error"]
+
+    def test_shutdown_endpoint_wakes_stop_event(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            _status, body = conn.request("POST", "/shutdown")
+            assert body == {"stopping": True}
+            assert daemon._stop.is_set()
+
+    def test_shutdown_endpoint_403_when_disabled(self):
+        with CacheDaemon(tiny_scenario(allow_shutdown=False)) as daemon:
+            with ServeConnection(daemon.url) as conn:
+                status, body = conn.request("POST", "/shutdown", expect_error=True)
+        assert status == 403 and body["status"] == 403
+
+    def test_close_is_idempotent_and_releases_port(self):
+        daemon = CacheDaemon(tiny_scenario()).start()
+        port = daemon.port
+        daemon.close()
+        daemon.close()
+        # the port must be rebindable immediately (socket released)
+        rebind = CacheDaemon(tiny_scenario(), port=port)
+        rebind.close()
+
+    def test_never_started_daemon_still_closes(self):
+        daemon = CacheDaemon(tiny_scenario())
+        daemon.close()  # must not hang in shutdown()
+
+
+# -- slam driver -------------------------------------------------------------
+
+
+class TestSlam:
+    def test_slam_single_worker_inline(self):
+        scenario = tiny_scenario()
+        trace = list(make_workload("server", 400, 9).file_ids())
+        with CacheDaemon(scenario) as daemon:
+            report = run_slam(daemon.url, trace, workers=1, batch=10)
+        assert report.events == 400
+        assert report.requests == 40
+        assert report.errors == 0
+        assert report.p50_ms >= 0.0
+        assert 0.0 <= report.served_hit_ratio <= 1.0
+
+    def test_slam_multiprocess_matches_journal_replay(self):
+        scenario = tiny_scenario()
+        trace = list(make_workload("server", 600, 13).file_ids())
+        with CacheDaemon(scenario) as daemon:
+            report = run_slam(daemon.url, trace, workers=2, batch=16)
+            with ServeConnection(daemon.url) as conn:
+                _status, journal = conn.request("GET", "/journal")
+                stats = conn.stats()
+        assert report.events == 600
+        assert report.workers == 2
+        fresh = scenario.build_cache()
+        wire.replay_journal(fresh, journal["entries"])
+        assert fresh.stats_dict()["hits"] == stats["cache"]["hits"]
+        assert report.client_hits == stats["cache"]["hits"]
+
+    def test_slam_delta_isolates_this_run(self):
+        scenario = tiny_scenario()
+        with CacheDaemon(scenario) as daemon:
+            with ServeConnection(daemon.url) as conn:
+                conn.fetch(["warm1", "warm2"])  # pre-existing traffic
+            report = run_slam(daemon.url, ["a", "a", "a", "a"], workers=1, batch=2)
+        assert report.delta["accesses"] == 4
+        assert report.delta["hits"] == 3  # first "a" misses, rest hit
+        assert report.served_hit_ratio == 0.75
+
+    def test_slam_report_json_schema(self, tmp_path):
+        from repro.serve.client import write_report
+
+        scenario = tiny_scenario()
+        with CacheDaemon(scenario) as daemon:
+            report = run_slam(daemon.url, ["a", "b", "a"], workers=1, batch=2)
+        out = write_report(report, tmp_path / "report.json")
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schema"] == wire.SLAM_SCHEMA
+        assert payload["events"] == 3
+        assert set(payload["latency_ms"]) == {"p50", "p95", "p99", "mean"}
+
+    def test_slam_ctrace_source(self, tmp_path):
+        from repro.traces.columnar import write_columnar
+        from repro.traces.events import Trace, TraceEvent
+
+        trace = list(make_workload("server", 300, 17).file_ids())
+        artifact = tmp_path / "slam.ctrace"
+        write_columnar(
+            Trace(events=[TraceEvent(file_id=fid) for fid in trace]), artifact
+        )
+        shards = make_shards(artifact, 3)
+        assert [s[0] for s in shards] == ["ctrace"] * 3
+        scenario = tiny_scenario()
+        with CacheDaemon(scenario) as daemon:
+            report = run_slam(daemon.url, artifact, workers=2, batch=16)
+            serial = scenario.build_cache()
+            with ServeConnection(daemon.url) as conn:
+                _status, journal = conn.request("GET", "/journal")
+                stats = conn.stats()
+        assert report.events == 300
+        wire.replay_journal(serial, journal["entries"])
+        assert serial.stats_dict()["hits"] == stats["cache"]["hits"]
+
+    def test_retry_once_on_connection_reset(self, monkeypatch):
+        with CacheDaemon(tiny_scenario()) as daemon:
+            conn = ServeConnection(daemon.url)
+            real_once = conn._once
+            calls = {"n": 0}
+
+            def flaky(method, path, body):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise ConnectionResetError("peer reset")
+                return real_once(method, path, body)
+
+            monkeypatch.setattr(conn, "_once", flaky)
+            body = conn.fetch(["f1"])
+            conn.close()
+        assert body["count"] == 1
+        assert conn.retries == 1
+        assert calls["n"] == 2
+
+    def test_second_reset_raises(self, monkeypatch):
+        with CacheDaemon(tiny_scenario()) as daemon:
+            conn = ServeConnection(daemon.url)
+
+            def always_reset(method, path, body):
+                raise ConnectionResetError("peer reset")
+
+            monkeypatch.setattr(conn, "_once", always_reset)
+            with pytest.raises(SlamError, match="failed after retry"):
+                conn.fetch(["f1"])
+            conn.close()
+        assert conn.retries == 1
+
+    def test_dead_daemon_raises_slam_error(self):
+        daemon = CacheDaemon(tiny_scenario()).start()
+        url = daemon.url
+        daemon.close()
+        with pytest.raises(SlamError):
+            run_slam(url, ["a", "b"], workers=1, batch=1)
+
+
+# -- process lifecycle -------------------------------------------------------
+
+
+def _spawn_daemon(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    port_file = tmp_path / "port"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            str(SCENARIOS / "smoke.json"),
+            "--port-file", str(port_file), *extra,
+        ],
+        env=env,
+        cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon died early: {process.communicate()[0]}"
+            )
+        if port_file.exists() and port_file.read_text().strip():
+            return process, int(port_file.read_text().strip())
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("daemon never announced its port")
+
+
+class TestProcessLifecycle:
+    def test_sigterm_exits_zero_and_releases_port(self, tmp_path):
+        process, port = _spawn_daemon(tmp_path)
+        with ServeConnection(f"http://127.0.0.1:{port}") as conn:
+            _status, body = conn.request("GET", "/healthz")
+            assert body["ok"] is True
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=10) == 0
+        output = process.communicate()[0]
+        assert "socket released" in output
+        # no orphaned socket: the port is immediately rebindable
+        rebind = CacheDaemon(tiny_scenario(), port=port)
+        rebind.close()
+
+    def test_sigint_exits_zero(self, tmp_path):
+        process, _port = _spawn_daemon(tmp_path)
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=10) == 0
+
+    def test_shutdown_endpoint_stops_the_process(self, tmp_path):
+        process, port = _spawn_daemon(tmp_path)
+        with ServeConnection(f"http://127.0.0.1:{port}") as conn:
+            conn.request("POST", "/shutdown")
+        assert process.wait(timeout=10) == 0
+
+
+# -- MetricsServer port-0 contract ------------------------------------------
+
+
+class TestMetricsServerLifecycle:
+    def test_binds_ephemeral_port_and_reports_it(self):
+        with MetricsServer(lambda: "# EOF\n") as server:
+            assert server.port != 0
+            with MetricsServer(lambda: "# EOF\n") as other:
+                assert other.port != server.port
+
+    def test_close_is_idempotent(self):
+        server = MetricsServer(lambda: "# EOF\n")
+        server.start()
+        server.close()
+        server.close()
+
+    def test_never_started_close_does_not_hang(self):
+        server = MetricsServer(lambda: "# EOF\n")
+        server.close()
+
+
+# -- CLI registration --------------------------------------------------------
+
+
+class TestCli:
+    def test_serve_and_slam_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "scenarios/smoke.json"])
+        assert callable(args.handler)
+        args = parser.parse_args(
+            ["slam", "--url", "http://127.0.0.1:1", "--workers", "3"]
+        )
+        assert callable(args.handler) and args.workers == 3
+
+    def test_slam_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["slam", "--url", "http://x:1", "--workload", "cray"]
+            )
+
+    def test_slam_cli_end_to_end(self, capsys, tmp_path):
+        with CacheDaemon(tiny_scenario()) as daemon:
+            code = main(
+                [
+                    "slam", "--url", daemon.url, "--workload", "server",
+                    "--events", "300", "--workers", "1", "--batch", "10",
+                    "--report", str(tmp_path / "report.json"),
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events replayed" in out and "300" in out
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["schema"] == wire.SLAM_SCHEMA
