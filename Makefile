@@ -44,6 +44,8 @@ bench-check:
 		--strict test_system_replay_interned_throughput \
 		--strict test_aggregating_replay_fast_throughput \
 		--strict test_columnar_kernel_replay_throughput \
+		--strict test_columnar_kernel_v2_replay_throughput \
+		--strict test_array_lru_throughput \
 		--strict test_columnar_scan_pure_int_throughput
 
 # Tracing smoke: record a real traced replay, then validate the JSONL

@@ -124,6 +124,28 @@ def compare(
     return comparisons, missing, extra
 
 
+def kernel_speedup_line(fresh: Dict[str, Dict[str, Any]]) -> Optional[str]:
+    """One-line array-vs-dict kernel speedup summary, or None.
+
+    Both full-replay kernel benches run the same columns through the
+    same system configuration, so their throughput ratio is the
+    eviction-core speedup on this machine.  Informational only — the
+    per-bench thresholds above are the gate.
+    """
+    array = events_per_second(
+        fresh.get("test_columnar_kernel_v2_replay_throughput", {})
+    )
+    dict_ = events_per_second(
+        fresh.get("test_columnar_kernel_replay_throughput", {})
+    )
+    if not array or not dict_:
+        return None
+    return (
+        f"kernel speedup: array {array:,.0f} eps vs dict {dict_:,.0f} eps "
+        f"({array / dict_:.2f}x)"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when benchmark throughput regresses vs. the baseline"
@@ -222,6 +244,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    speedup = kernel_speedup_line(fresh)
+    if speedup:
+        print(speedup)
     print(f"bench gate passed: {len(comparisons)} benchmark(s) within threshold")
     return 0
 

@@ -263,6 +263,53 @@ def _drift_section(events: int) -> str:
     return "\n".join(parts)
 
 
+def engine_path_rows(events: int) -> List[List[str]]:
+    """Which replay loop the engine's dispatch selects per input form.
+
+    Replays the reference workload under metric collection once as an
+    event trace and once as a columnar trace, then reads back the
+    ``engine.replay.path.*`` counters.  Deterministic: the rows carry
+    the dispatch choice and the event count, not wall clock — the
+    benchmark gate owns throughput numbers.
+    """
+    from ..obs import collecting
+    from ..sim.engine import DistributedFileSystem
+    from ..traces.columnar import ColumnarTrace
+    from ..workloads.synthetic import make_workload
+
+    trace = make_workload("server", events)
+    rows: List[List[str]] = [["input form", "replay path", "events"]]
+    for label, payload in (
+        ("event trace", trace),
+        ("columnar trace", ColumnarTrace.from_trace(trace)),
+    ):
+        with collecting() as registry:
+            DistributedFileSystem(
+                client_capacity=250, server_capacity=300, group_size=5
+            ).replay(payload)
+        counters = registry.snapshot()["counters"]
+        prefix = "engine.replay.path."
+        paths = sorted(
+            name[len(prefix):] for name in counters if name.startswith(prefix)
+        )
+        rows.append([label, ", ".join(paths) or "-", str(len(payload))])
+    return rows
+
+
+def _engine_section(events: int) -> str:
+    """Report section: the replay paths actually taken at this scale."""
+    return (
+        "## Replay engine paths\n\n"
+        "The fused loop the engine's dispatch selected for each input "
+        "form of the reference workload, from the "
+        "`engine.replay.path.*` counters.  `kernel_v2` is the "
+        "array-backed eviction core (columnar traces above the size "
+        "floor); `fast` is the string-keyed fused loop for event "
+        "traces.  Throughput is gated separately by `make "
+        "bench-check`.\n\n" + rows_to_markdown(engine_path_rows(events)) + "\n"
+    )
+
+
 def build_report(
     events: int = 20_000,
     charts: bool = True,
@@ -298,6 +345,11 @@ def build_report(
     buffer.write("## Headline claims\n\n")
     buffer.write(rows_to_markdown(headline.to_rows()))
     buffer.write("\n\n")
+
+    if progress is not None:
+        progress("engine-paths")
+    buffer.write(_engine_section(events))
+    buffer.write("\n")
 
     for section_id, builder in chosen:
         if progress is not None:

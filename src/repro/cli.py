@@ -1026,7 +1026,63 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         if info.get(key) is not None:
             rows.append([key.replace("_", " "), str(info[key])])
     print(rows_to_markdown(rows))
+    if args.bench:
+        if validate_columnar(args.trace):
+            from .traces.columnar import read_columnar
+
+            ctrace = read_columnar(args.trace)
+        else:
+            ctrace = packed
+        print()
+        print(rows_to_markdown(_trace_bench_rows(ctrace)))
     return 0
+
+
+def _trace_bench_rows(ctrace) -> list:
+    """One-shot timings of every columnar path over one trace.
+
+    Times a single pass each of the stateless column scan, the
+    dict-based replay kernel, and the array-backed replay kernel (the
+    kernel each gets a fresh reference-configuration system), so
+    ``repro trace info --bench`` answers "how fast does *this* trace
+    replay on *this* machine, per path" without pytest-benchmark.
+    One-shot wall clock, not a calibrated benchmark — the strict CI
+    gate owns the careful numbers.
+    """
+    from .sim import kernel as _kernel
+    from .sim.engine import DistributedFileSystem
+
+    events = len(ctrace)
+    config = dict(client_capacity=250, server_capacity=300, group_size=5)
+
+    def run_scan():
+        _kernel.scan_columns(
+            ctrace.file_codes, ctrace.kind_codes, len(ctrace.file_symbols)
+        )
+
+    def run_kernel():
+        _kernel.replay_columns(DistributedFileSystem(**config), ctrace)
+
+    def run_kernel_v2():
+        system = DistributedFileSystem(**config)
+        # min_events=0: benching a small trace is still a valid ask,
+        # even though the engine's dispatch would route it to v1.
+        state = _kernel.v2_import(system, ctrace, min_events=0)
+        _kernel.replay_columns_v2(system, ctrace, state=state)
+        state.export()
+
+    rows = [["path", "seconds", "events/s"]]
+    for label, run in (
+        ("scan", run_scan),
+        ("kernel (dict LRU)", run_kernel),
+        ("kernel_v2 (array LRU)", run_kernel_v2),
+    ):
+        started = time.perf_counter()
+        run()
+        seconds = time.perf_counter() - started
+        rate = f"{events / seconds:,.0f}" if seconds > 0 and events else "-"
+        rows.append([label, f"{seconds:.3f}", rate])
+    return rows
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1643,6 +1699,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="event count, unique files, column sizes, format version",
     )
     info.add_argument("trace", type=Path, help="trace file (columnar or text)")
+    info.add_argument(
+        "--bench",
+        action="store_true",
+        help="time one replay of this trace per kernel path (events/s)",
+    )
     info.set_defaults(handler=_cmd_trace_info)
 
     return parser

@@ -331,14 +331,17 @@ class AggregatingClientCache:
                 slist = lists_get(prev)
                 if slist is None:
                     slist = LRUSuccessorList(successor_capacity)
+                    slist._items = [file_id]
                     lists[prev] = slist
-                slist_order = slist._order
-                if file_id in slist_order:
-                    slist_order.move_to_end(file_id)
                 else:
-                    if len(slist_order) >= successor_capacity:
-                        slist_order.popitem(last=False)
-                    slist_order[file_id] = None
+                    items = slist._items
+                    if items[0] != file_id:
+                        try:
+                            items.remove(file_id)
+                        except ValueError:
+                            if len(items) >= successor_capacity:
+                                items.pop()
+                        items.insert(0, file_id)
             prev = file_id
             if file_id in order:
                 order.move_to_end(file_id)

@@ -157,22 +157,24 @@ def build_group_fast(lists_get, target_size: int, demanded) -> List[str]:
 
     ``lists_get`` is the ``dict.get`` of a tracker's per-file successor
     lists, which must all be ``LRUSuccessorList`` instances — the loop
-    reads ``reversed(slist._order)`` directly, the LRU list's
-    most-recent-first prediction order.  Returns the member list
+    reads ``slist._items`` directly, the LRU list's most-recent-first
+    prediction order.  Returns the member list
     (demanded first) without allocating :class:`Group` objects or
     ``predict()`` lists; replay fast paths use it, and the engine's
     metrics-equality tests assert it matches the real builder
     count-for-count.
     """
+    # Membership checks run against the members list itself: groups are
+    # a handful of ints, and a C-level scan of <= g elements beats
+    # allocating and filling a set per build (measured ~1.5x).
     members = [demanded]
-    used = {demanded}
     frontier = demanded
     while len(members) < target_size:
         candidate = None
         slist = lists_get(frontier)
         if slist is not None:
-            for entry in reversed(slist._order):
-                if entry not in used:
+            for entry in slist._items:
+                if entry not in members:
                     candidate = entry
                     break
         if candidate is None:
@@ -180,8 +182,8 @@ def build_group_fast(lists_get, target_size: int, demanded) -> List[str]:
                 slist = lists_get(member)
                 if slist is None:
                     continue
-                for entry in reversed(slist._order):
-                    if entry not in used:
+                for entry in slist._items:
+                    if entry not in members:
                         candidate = entry
                         break
                 if candidate is not None:
@@ -189,7 +191,6 @@ def build_group_fast(lists_get, target_size: int, demanded) -> List[str]:
         if candidate is None:
             break
         members.append(candidate)
-        used.add(candidate)
         frontier = candidate
     return members
 

@@ -80,24 +80,37 @@ class LRUSuccessorList(SuccessorList):
         super().__init__(capacity)
         if capacity == UNBOUNDED:
             raise CacheConfigurationError("LRU successor lists must be bounded")
-        self._order: "OrderedDict[str, None]" = OrderedDict()
+        #: Retained successors, most recently observed first.  A plain
+        #: list beats an OrderedDict here: capacity is a handful of
+        #: entries (the paper's finding is ~4-8 suffice), so C-level
+        #: ``remove``/``insert`` on a short list outruns hashing, and
+        #: prediction order is the list itself — no reversal, no copy of
+        #: dict keys.  The replay kernels index these lists directly
+        #: (``slist._items``) and the array successor tracker shares
+        #: them in place, which is what makes its chunk-boundary fold
+        #: free for already-known predecessors.
+        self._items: List[str] = []
 
     def observe(self, successor: str) -> None:
-        if successor in self._order:
-            self._order.move_to_end(successor)
-            return
-        if len(self._order) >= self.capacity:
-            self._order.popitem(last=False)
-        self._order[successor] = None
+        items = self._items
+        if items:
+            if items[0] == successor:
+                return
+            try:
+                items.remove(successor)
+            except ValueError:
+                if len(items) >= self.capacity:
+                    items.pop()
+        items.insert(0, successor)
 
     def predict(self) -> List[str]:
-        return list(reversed(self._order))
+        return list(self._items)
 
     def __contains__(self, successor: str) -> bool:
-        return successor in self._order
+        return successor in self._items
 
     def __len__(self) -> int:
-        return len(self._order)
+        return len(self._items)
 
 
 class LFUSuccessorList(SuccessorList):
@@ -431,6 +444,144 @@ class SuccessorTracker:
         useful for the paper's "minimal metadata" claims.
         """
         return sum(len(slist) for slist in self._lists.values())
+
+
+class ArraySuccessorTracker:
+    """Flat successor-slot state over dense integer codes.
+
+    The batch replay kernel's view of a :class:`SuccessorTracker`: one
+    slot per file code instead of a dict keyed by file id.  Two flat
+    arrays carry the hot path:
+
+    ``slots[code]``
+        the predecessor's successor list — the *same* ``_items`` list
+        object the tracker's :class:`LRUSuccessorList` holds, shared in
+        place.  Mutating a slot mutates the canonical tracker state, so
+        folding back at a chunk boundary costs nothing for any
+        predecessor the tracker already knew.
+    ``heads[code]``
+        a cache of ``slots[code][0]`` — the most recent successor —
+        letting the kernel's per-event no-op check (``heads[prev] !=
+        successor``, the overwhelmingly common repeat transition) skip
+        the list access entirely.  The kernel keeps it in sync on every
+        slot mutation.
+
+    Predecessors first observed *during* the replay accumulate in
+    ``new_preds``; :meth:`fold_into` wraps their slot lists into real
+    ``LRUSuccessorList`` objects (sharing, not copying) and registers
+    them with the tracker.  One extra slot — ``self.dummy`` — absorbs
+    observations with no predecessor (``prev is None``), so the kernel
+    loop needs no per-event None check; the dummy slot is never folded.
+
+    Observation semantics are exactly ``LRUSuccessorList.observe``
+    (asserted against the canonical tracker by the differential tests);
+    :meth:`observe_batch` is the reference bulk form the kernel inlines.
+    """
+
+    __slots__ = ("capacity", "universe", "dummy", "slots", "heads", "new_preds")
+
+    def __init__(self, capacity: int, universe: int):
+        if capacity <= 0:
+            raise CacheConfigurationError(
+                f"successor slot capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.universe = universe
+        # Slot indices run to universe + 1: code ``universe`` is the
+        # kernel's phantom carried-previous code (a string predecessor
+        # from an earlier replay mapped past the symbol table by
+        # ``_map_previous``), and one more is the dummy.  Entries are
+        # always real trace codes < universe — they become group-build
+        # companions the kernel indexes into residency arrays.
+        self.dummy = universe + 1
+        self.slots: List[Optional[List[int]]] = [None] * (universe + 2)
+        self.heads: List[Optional[int]] = [None] * (universe + 2)
+        self.new_preds: List[int] = []
+
+    @classmethod
+    def from_tracker(
+        cls, tracker: "SuccessorTracker", universe: int
+    ) -> Optional["ArraySuccessorTracker"]:
+        """Share a tracker's lists into slot form, or None if it can't.
+
+        Importable state means every list key is an int code in
+        ``[0, universe]`` (the top value being the phantom
+        carried-previous code) and every retained entry a real code in
+        ``[0, universe)`` — entries become group-build frontiers and
+        companions, which the kernel indexes straight into its arrays.
+        A fresh tracker imports for free; a string-keyed one (a prior
+        non-interned replay) returns None and the caller falls back to
+        the dict-based kernel.
+        """
+        array = cls(tracker.capacity, universe)
+        slots = array.slots
+        heads = array.heads
+        for key, slist in tracker._lists.items():
+            if not (type(key) is int and 0 <= key <= universe):
+                return None
+            items = slist._items
+            for entry in items:
+                if not (type(entry) is int and 0 <= entry < universe):
+                    return None
+            slots[key] = items
+            if items:
+                heads[key] = items[0]
+        return array
+
+    def observe_batch(self, predecessors, successors) -> None:
+        """Fold flat ``(pred, succ)`` observation pairs, in order.
+
+        The reference form of the kernel's inlined update: one slot
+        mutation per non-repeat transition, heads kept in sync.
+        """
+        slots = self.slots
+        heads = self.heads
+        capacity = self.capacity
+        new_preds = self.new_preds
+        for predecessor, successor in zip(predecessors, successors):
+            if heads[predecessor] == successor:
+                continue
+            items = slots[predecessor]
+            if items is None:
+                slots[predecessor] = [successor]
+                new_preds.append(predecessor)
+            else:
+                try:
+                    items.remove(successor)
+                except ValueError:
+                    if len(items) >= capacity:
+                        items.pop()
+                items.insert(0, successor)
+            heads[predecessor] = successor
+
+    def predict(self, code: int) -> List[int]:
+        """Successors of a code, most likely first (a copy)."""
+        items = self.slots[code]
+        return list(items) if items is not None else []
+
+    def fold_into(self, tracker: "SuccessorTracker") -> int:
+        """Register replay-discovered predecessors with the tracker.
+
+        Existing predecessors need nothing — their list objects were
+        shared all along.  Each new predecessor's slot list is wrapped
+        (shared, not copied) into a ``LRUSuccessorList``; the dummy
+        slot is skipped.  Returns how many lists were added, and resets
+        ``new_preds`` so a session can fold once per chunk.
+        """
+        dummy = self.dummy
+        slots = self.slots
+        lists = tracker._lists
+        capacity = self.capacity
+        added = 0
+        for predecessor in self.new_preds:
+            if predecessor == dummy or predecessor in lists:
+                continue
+            slist = LRUSuccessorList(capacity)
+            slist._items = slots[predecessor]
+            lists[predecessor] = slist
+            added += 1
+        self.new_preds = []
+        return added
 
 
 @dataclass

@@ -506,6 +506,18 @@ def windowed_replay(
     window = chosen.window
     total = (len(events) + window - 1) // window
     started = time.perf_counter()
+    # Columnar replays keep ONE array-kernel state across every chunk:
+    # eligibility is decided on the full trace, the per-chunk replays
+    # share the imported arrays (stats objects and counters are synced
+    # at every chunk boundary, which is all the sampling below reads),
+    # and the cache OrderedDicts are written back once at the end.
+    # Without the session, the kernel's import/export would run per
+    # window and a small window would lose its entire speedup to it.
+    v2_state = None
+    if columnar and system._fast_replay_ok():
+        from ..sim.kernel import replay_columns_v2, v2_import
+
+        v2_state = v2_import(system, trace)
     # Suspend the global hook while chunks replay so a collector-driven
     # replay() call cannot recurse into itself.
     previous = set_collector(None)
@@ -529,7 +541,10 @@ def windowed_replay(
                 )
             before = _system_totals(system)
             chunk_started = time.perf_counter()
-            system._replay_trace(sub_trace, intern=False)
+            if v2_state is not None:
+                replay_columns_v2(system, sub_trace, state=v2_state)
+            else:
+                system._replay_trace(sub_trace, intern=False)
             seconds = time.perf_counter() - chunk_started
             after = _system_totals(system)
             if not chosen.entropy:
@@ -549,6 +564,8 @@ def windowed_replay(
             )
     finally:
         set_collector(previous)
+        if v2_state is not None:
+            v2_state.export()
     chosen._replay_windows += total
     chosen._replay_events += len(events)
     return system.metrics()

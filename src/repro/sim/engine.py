@@ -464,14 +464,17 @@ class DistributedFileSystem:
                     slist = lists_get(prev)
                     if slist is None:
                         slist = LRUSuccessorList(successor_capacity)
+                        slist._items = [file_id]
                         lists[prev] = slist
-                    slist_order = slist._order
-                    if file_id in slist_order:
-                        slist_order.move_to_end(file_id)
                     else:
-                        if len(slist_order) >= successor_capacity:
-                            slist_order.popitem(last=False)
-                        slist_order[file_id] = None
+                        items = slist._items
+                        if items[0] != file_id:
+                            try:
+                                items.remove(file_id)
+                            except ValueError:
+                                if len(items) >= successor_capacity:
+                                    items.pop()
+                            items.insert(0, file_id)
                 prev = file_id
 
             if client_id != current_client:
@@ -508,14 +511,17 @@ class DistributedFileSystem:
                     slist = lists_get(prev)
                     if slist is None:
                         slist = LRUSuccessorList(successor_capacity)
+                        slist._items = [file_id]
                         lists[prev] = slist
-                    slist_order = slist._order
-                    if file_id in slist_order:
-                        slist_order.move_to_end(file_id)
                     else:
-                        if len(slist_order) >= successor_capacity:
-                            slist_order.popitem(last=False)
-                        slist_order[file_id] = None
+                        items = slist._items
+                        if items[0] != file_id:
+                            try:
+                                items.remove(file_id)
+                            except ValueError:
+                                if len(items) >= successor_capacity:
+                                    items.pop()
+                            items.insert(0, file_id)
                 prev = file_id
 
             members = build_group_fast(lists_get, group_size, file_id)
@@ -573,6 +579,7 @@ class DistributedFileSystem:
             registry.histogram("engine.replay.fast.ns").observe(
                 time.perf_counter_ns() - started
             )
+            registry.counter("engine.replay.path.fast").inc()
         return self.metrics()
 
     def replay(
@@ -620,18 +627,29 @@ class DistributedFileSystem:
         call, so a configuration change mid-windowed-run is honoured at
         the next window boundary.
 
-        Columnar traces route to the batch kernel
-        (:func:`repro.sim.kernel.replay_columns`) when the configuration
-        qualifies — integer columns replayed straight off the mmap, the
-        ``intern=True`` contract without the encoding pass — and are
-        decoded to event objects for the generic path otherwise.  Either
+        Columnar traces route to the batch kernels when the
+        configuration qualifies — integer columns replayed straight off
+        the mmap, the ``intern=True`` contract without the encoding
+        pass — and are decoded to event objects for the generic path
+        otherwise.  The array-backed core
+        (:func:`repro.sim.kernel.replay_columns_v2`) runs when
+        :func:`repro.sim.kernel.v2_import` accepts the live state (int
+        cache keys, no evict listeners, enough events to amortize the
+        import); anything it declines falls back explicitly to the
+        dict kernel (:func:`repro.sim.kernel.replay_columns`).  Either
         way the resulting metrics are byte-identical to replaying the
-        decoded events.
+        decoded events, and the ``engine.replay.path.*`` counter
+        records which loop actually ran.
         """
         if isinstance(trace, ColumnarTrace):
             if self._fast_replay_ok():
-                from .kernel import replay_columns
+                from .kernel import replay_columns, replay_columns_v2, v2_import
 
+                state = v2_import(self, trace)
+                if state is not None:
+                    metrics = replay_columns_v2(self, trace, state=state)
+                    state.export()
+                    return metrics
                 return replay_columns(self, trace)
             return self._replay_trace(trace.to_trace(), intern)
         if self._fast_replay_ok():
@@ -662,6 +680,7 @@ class DistributedFileSystem:
             registry.histogram("engine.replay.generic.ns").observe(
                 time.perf_counter_ns() - started
             )
+            registry.counter("engine.replay.path.generic").inc()
         return self.metrics()
 
     def metrics(self) -> SystemMetrics:

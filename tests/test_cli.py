@@ -429,6 +429,35 @@ class TestTraceTooling:
 
         assert read_columnar(packed).to_trace().events == read_trace(text).events
 
+    def test_info_bench_times_every_kernel_path(self, capsys, tmp_path):
+        text = tmp_path / "b.trace"
+        packed = tmp_path / "b.ctrace"
+        main(
+            ["generate", "--workload", "server", "--events", "1200",
+             "--out", str(text)]
+        )
+        main(["trace", "pack", str(text), str(packed)])
+        capsys.readouterr()
+        assert main(["trace", "info", str(packed), "--bench"]) == 0
+        out = capsys.readouterr().out
+        assert "| events | 1200 |" in out
+        assert "| path | seconds | events/s |" in out
+        assert "| scan |" in out
+        assert "| kernel (dict LRU) |" in out
+        assert "| kernel_v2 (array LRU) |" in out
+
+    def test_info_bench_accepts_text_traces(self, capsys, tmp_path):
+        text = tmp_path / "bt.trace"
+        main(
+            ["generate", "--workload", "users", "--events", "700",
+             "--out", str(text)]
+        )
+        capsys.readouterr()
+        assert main(["trace", "info", str(text), "--bench"]) == 0
+        out = capsys.readouterr().out
+        assert "unpacked text" in out
+        assert "| kernel_v2 (array LRU) |" in out
+
     def test_info_accepts_text_traces(self, capsys, tmp_path):
         text = tmp_path / "s.trace"
         main(

@@ -9,6 +9,7 @@ non-qualifying configurations.
 
 import pytest
 
+import repro.caching.array_lru as array_lru
 import repro.sim.kernel as kernel
 from repro.sim.engine import DistributedFileSystem
 from repro.sim.kernel import client_runs, scan_columns
@@ -25,8 +26,14 @@ NUMPY_MODES = (False, True) if kernel.HAVE_NUMPY else (False,)
 
 @pytest.fixture(params=NUMPY_MODES, ids=lambda v: "numpy" if v else "pure")
 def numpy_mode(request, monkeypatch):
-    """Run the test body under both kernel implementations."""
+    """Run the test body under both kernel implementations.
+
+    The array eviction core keeps its own module flag for the queue
+    refill / export scans, so both must be forced together for the
+    "pure" leg to actually avoid numpy.
+    """
     monkeypatch.setattr(kernel, "HAVE_NUMPY", request.param)
+    monkeypatch.setattr(array_lru, "HAVE_NUMPY", request.param)
     return request.param
 
 
@@ -185,6 +192,131 @@ class TestWindowedColumnarReplay:
         ] == [
             sample.deterministic_dict() for sample in events_collector.samples
         ]
+
+
+class TestArrayKernelDispatch:
+    """The engine's columnar dispatch: array kernel when eligible,
+    explicit fallback to the dict kernel otherwise, with the chosen
+    path recorded in ``engine.replay.path.*``."""
+
+    @staticmethod
+    def _path_counters(registry):
+        return {
+            name: value
+            for name, value in registry.snapshot()["counters"].items()
+            if name.startswith("engine.replay.path.")
+        }
+
+    def test_eligible_replay_takes_array_kernel(self, numpy_mode):
+        from repro.obs import collecting
+
+        ctrace = ColumnarTrace.from_trace(make_workload("server", EVENTS))
+        with collecting() as registry:
+            DistributedFileSystem(**CONFIG).replay(ctrace)
+        assert self._path_counters(registry) == {
+            "engine.replay.path.kernel_v2": 1
+        }
+
+    def test_small_trace_falls_back_to_dict_kernel(self, numpy_mode):
+        from repro.obs import collecting
+
+        small = ColumnarTrace.from_trace(make_workload("server", 512))
+        assert len(small) < kernel.V2_MIN_EVENTS
+        with collecting() as registry:
+            DistributedFileSystem(**CONFIG).replay(small)
+        assert self._path_counters(registry) == {"engine.replay.path.kernel": 1}
+
+    def test_floor_override_admits_small_traces(self, numpy_mode, monkeypatch):
+        from repro.obs import collecting
+
+        monkeypatch.setattr(kernel, "V2_MIN_EVENTS", 0)
+        trace = make_workload("server", 512)
+        small = ColumnarTrace.from_trace(trace)
+        reference = generic_engine_metrics(
+            DistributedFileSystem(**CONFIG), trace
+        )
+        with collecting() as registry:
+            metrics = DistributedFileSystem(**CONFIG).replay(small)
+        assert metrics == reference
+        assert self._path_counters(registry) == {
+            "engine.replay.path.kernel_v2": 1
+        }
+
+    def test_evict_listener_falls_back_to_dict_kernel(self, numpy_mode):
+        from repro.obs import collecting
+
+        ctrace = ColumnarTrace.from_trace(make_workload("server", EVENTS))
+        system = DistributedFileSystem(**CONFIG)
+        victims = []
+        system.server_cache.evict_listener = victims.append
+        with collecting() as registry:
+            system.replay(ctrace)
+        assert self._path_counters(registry) == {"engine.replay.path.kernel": 1}
+        assert victims  # the dict kernel still fires the hook
+
+    def test_string_keyed_state_falls_back_to_dict_kernel(self, numpy_mode):
+        from repro.obs import collecting
+
+        ctrace = ColumnarTrace.from_trace(make_workload("server", EVENTS))
+        trace = ctrace.to_trace()
+        system = DistributedFileSystem(**CONFIG)
+        system.replay(trace, intern=False)  # warm state keyed by strings
+        with collecting() as registry:
+            system.replay(ctrace)
+        assert self._path_counters(registry) == {"engine.replay.path.kernel": 1}
+        # The dict kernel's documented contract on warm string state is
+        # intern=True semantics: string keys are foreign to the code
+        # space, exactly like the interning fast path.
+        reference = DistributedFileSystem(**CONFIG)
+        reference.replay(trace, intern=False)
+        reference.replay(trace, intern=True)
+        assert system.metrics() == reference.metrics()
+
+    @staticmethod
+    def _full_state(system):
+        return (
+            {cid: list(cache._order) for cid, cache in system.clients.items()},
+            list(system.server_cache._order)
+            if system.server_cache is not None
+            else None,
+            {
+                key: list(slist._items)
+                for key, slist in system.tracker._lists.items()
+            },
+            system.tracker._previous,
+        )
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_final_state_identical_to_dict_kernel(self, workload, numpy_mode,
+                                                  monkeypatch):
+        # Beyond metrics equality: the exported cache orders, successor
+        # lists, and carried previous must match the dict kernel's.
+        ctrace = ColumnarTrace.from_trace(make_workload(workload, EVENTS))
+        array_system = DistributedFileSystem(**CONFIG)
+        array_metrics = array_system.replay(ctrace)
+        monkeypatch.setattr(kernel, "V2_MIN_EVENTS", EVENTS + 1)
+        dict_system = DistributedFileSystem(**CONFIG)
+        dict_metrics = dict_system.replay(ctrace)
+        assert array_metrics == dict_metrics
+        assert self._full_state(array_system) == self._full_state(dict_system)
+
+    def test_windowed_replay_reuses_one_session(self, numpy_mode):
+        # The windowed driver imports array state once and replays every
+        # chunk through it — one kernel_v2 record per window, and totals
+        # identical to the unwindowed replay.
+        from repro.obs import collecting
+        from repro.obs.timeseries import WindowedCollector, windowed_replay
+
+        ctrace = ColumnarTrace.from_trace(make_workload("write", EVENTS))
+        with collecting() as registry:
+            metrics = windowed_replay(
+                DistributedFileSystem(**CONFIG), ctrace,
+                collector=WindowedCollector(window=500),
+            )
+        assert metrics == DistributedFileSystem(**CONFIG).replay(ctrace)
+        assert self._path_counters(registry) == {
+            "engine.replay.path.kernel_v2": EVENTS // 500
+        }
 
 
 class TestKernelObservability:

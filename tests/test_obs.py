@@ -148,11 +148,17 @@ class TestEnableDisable:
 
 
 def _strip_timers(snapshot):
-    """Snapshot minus the wall-clock histograms (``*.ns``), which are
-    path-specific by design: the fast path records one fused-loop timer,
-    the generic path records per-build latencies."""
+    """Snapshot minus the path-specific entries: the wall-clock
+    histograms (``*.ns`` — the fast path records one fused-loop timer,
+    the generic path per-build latencies) and the
+    ``engine.replay.path.*`` counters, whose entire purpose is to
+    differ by which loop ran."""
     return {
-        "counters": snapshot["counters"],
+        "counters": {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if not name.startswith("engine.replay.path.")
+        },
         "gauges": snapshot["gauges"],
         "histograms": {
             name: summary

@@ -28,6 +28,15 @@ class TestBuildReport:
         assert "## Tiny section" in text
         assert "| x | s |" in text
 
+    def test_engine_paths_section_reports_dispatch(self):
+        text = build_report(events=2500, sections=tiny_sections())
+        assert "## Replay engine paths" in text
+        # 2500 events is above the array kernel's size floor, so the
+        # columnar row must show the v2 dispatch; the event-trace row
+        # stays on the string-keyed fused loop.
+        assert "| columnar trace | kernel_v2 | 2500 |" in text
+        assert "| event trace | fast | 2500 |" in text
+
     def test_charts_toggle(self):
         with_charts = build_report(events=2500, sections=tiny_sections())
         without = build_report(events=2500, sections=tiny_sections(), charts=False)
@@ -39,7 +48,7 @@ class TestBuildReport:
         build_report(
             events=2500, sections=tiny_sections(), progress=seen.append
         )
-        assert seen == ["headline", "tiny"]
+        assert seen == ["headline", "engine-paths", "tiny"]
 
     def test_rejects_bad_events(self):
         with pytest.raises(AnalysisError):
