@@ -6,7 +6,7 @@
 BENCH_JSON ?= BENCH_micro.json
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke serve-smoke charts examples report csv all clean
+.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke serve-smoke live-obs-smoke charts examples report csv all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -71,6 +71,16 @@ ts-smoke:
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/check_serve.py scenarios/smoke.json \
 		--events 5000 --workers 2
+
+# Live-observability smoke: daemon with access log + event-count
+# telemetry windows; stream /stats?since= during a slam and assert the
+# windowed counters converge to the lifetime counters, drift --url is
+# clean on the steady phase, then exits 2 on an injected workload shift
+# (uniform-random opens over a wide namespace), access log is valid
+# JSONL with monotonic ids, SIGTERM exits cleanly.
+live-obs-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/check_live_obs.py scenarios/smoke.json \
+		--events 6000 --workers 2
 
 charts:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s

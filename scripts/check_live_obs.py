@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Live-observability smoke: attach, converge, and catch an injected shift.
+
+The CI ``live-obs-smoke`` leg (also ``make live-obs-smoke``)::
+
+    PYTHONPATH=src python scripts/check_live_obs.py scenarios/smoke.json
+
+* starts ``python -m repro serve <scenario>`` as a subprocess with an
+  access log and event-count telemetry windows (deterministic window
+  boundaries, no wall-clock dependence);
+* slams it with the scenario's own workload while a
+  :class:`~repro.obs.live.StatsStream` polls ``/stats?since=`` — then
+  asserts the streamed windows *converge*: summed per-window hits,
+  misses and events equal the daemon's lifetime cache counters;
+* runs ``repro drift --url`` over the retained history and expects a
+  clean exit (0, no alerts) on the steady phase;
+* injects a workload shift — uniform random opens over a namespace far
+  wider than the cache, collapsing the hit ratio — and expects
+  ``repro drift --url --fail-on-drift`` to exit 2 with a hit-ratio
+  alert.  (A *sequential* scan would not do: the group prefetcher
+  absorbs it, which is the paper's point.)
+* validates the access log: every line parses as JSON with the
+  required fields and ids strictly increase;
+* sends SIGTERM and asserts a clean daemon exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # runnable without PYTHONPATH too
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.obs.live import StatsStream  # noqa: E402
+from repro.serve import ServeConnection, load_scenario, run_slam  # noqa: E402
+from repro.workloads.synthetic import make_workload  # noqa: E402
+
+PORT_WAIT_S = 20.0
+EXIT_WAIT_S = 10.0
+ACCESS_LOG_FIELDS = ("ts", "id", "endpoint", "method", "status", "latency_ns")
+
+
+def _fail(message: str) -> "SystemExit":
+    print(f"FAIL: {message}")
+    return SystemExit(1)
+
+
+def _wait_for_port(port_file: Path, process: subprocess.Popen) -> int:
+    deadline = time.monotonic() + PORT_WAIT_S
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise _fail(
+                f"daemon exited early with code {process.returncode} "
+                f"before announcing a port"
+            )
+        try:
+            text = port_file.read_text(encoding="utf-8").strip()
+        except OSError:
+            text = ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise _fail(f"daemon did not announce a port within {PORT_WAIT_S:.0f}s")
+
+
+def _run_drift(url: str, *extra: str) -> int:
+    """Run ``repro drift --url`` as a subprocess, return its exit code."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    # --alpha 1 tests raw window values: each event-count window is
+    # already a large sample, and EWMA smoothing would let the rolling
+    # baseline absorb the shifted windows before the smoothed value
+    # strays far enough to trip the z-test.
+    command = [
+        sys.executable, "-m", "repro", "drift",
+        "--url", url, "--history", "8", "--alpha", "1", *extra,
+    ]
+    completed = subprocess.run(
+        command, env=env, cwd=str(REPO_ROOT),
+        capture_output=True, text=True,
+    )
+    sys.stdout.write(completed.stdout)
+    sys.stderr.write(completed.stderr)
+    return completed.returncode
+
+
+def _check_convergence(url: str, scenario, events: int, workers: int) -> None:
+    """Stream windows during a slam; sums must equal lifetime counters."""
+    seed = scenario.seed if scenario.seed is not None else 0
+    source = list(make_workload(scenario.workload, events, seed).file_ids())
+    stream = StatsStream(url)
+    report = run_slam(url, source, workers=workers, batch=16)
+    if report.errors:
+        raise _fail(f"slam reported {report.errors} request error(s)")
+    if report.delta.get("server_errors"):
+        raise _fail(
+            f"daemon counted {report.delta['server_errors']} error(s) "
+            f"during the slam: {report.delta.get('endpoint_errors')}"
+        )
+
+    # one final poll drains every window the slam closed; the partial
+    # tail window stays open, so compare against the *windowed* portion
+    windows = [w for w in stream.poll()]
+    if not windows:
+        raise _fail("StatsStream saw no telemetry windows during the slam")
+    stats = stream.final_stats()
+    stream.close()
+
+    telemetry = stats["telemetry"]
+    if telemetry["dropped"]:
+        raise _fail(
+            f"retention ring dropped {telemetry['dropped']} window(s) "
+            f"mid-smoke; raise telemetry.retain in the scenario"
+        )
+    streamed_events = sum(w.sample.events for w in windows)
+    streamed_hits = sum(w.sample.hits for w in windows)
+    streamed_misses = sum(w.sample.misses for w in windows)
+    cache = stats["cache"]
+    tail_events = stats["accesses"] - streamed_events
+    tail_hits = cache["hits"] - streamed_hits
+    tail_misses = cache["misses"] - streamed_misses
+    window_events = scenario.telemetry_window_events or 0
+    if tail_events < 0 or (window_events and tail_events >= window_events):
+        raise _fail(
+            f"streamed window events ({streamed_events}) do not converge "
+            f"to lifetime accesses ({stats['accesses']}); unflushed tail "
+            f"of {tail_events} exceeds one window ({window_events})"
+        )
+    if tail_hits < 0 or tail_misses < 0 or tail_hits + tail_misses != tail_events:
+        raise _fail(
+            f"window hit/miss sums diverge from lifetime counters: "
+            f"streamed {streamed_hits}h/{streamed_misses}m vs lifetime "
+            f"{cache['hits']}h/{cache['misses']}m"
+        )
+    print(
+        f"convergence OK: {len(windows)} window(s) streamed, "
+        f"{streamed_events}/{stats['accesses']} events windowed "
+        f"(tail {tail_events} still open), hits+misses reconcile"
+    )
+
+
+def _inject_shift(url: str, events: int, workers: int) -> None:
+    """Collapse the hit ratio with uniform random opens over a wide space.
+
+    The namespace is ~2.5x the event count and disjoint from the
+    workload's, so almost every open misses and installed groups never
+    get re-referenced — the one access pattern group prefetching cannot
+    absorb.
+    """
+    rng = random.Random(11)
+    shifted = [f"shifted/{rng.randrange(20000)}" for _ in range(events)]
+    report = run_slam(url, shifted, workers=workers, batch=16)
+    if report.errors:
+        raise _fail(f"shift slam reported {report.errors} error(s)")
+    print(
+        f"injected shift: {events} uniform-random opens, served hit "
+        f"ratio this run {report.served_hit_ratio:.3f}"
+    )
+
+
+def _check_access_log(path: Path) -> None:
+    if not path.exists():
+        raise _fail(f"access log {path} was never created")
+    last_id = -1
+    lines = 0
+    for line in path.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)  # raises on a torn line
+        for field in ACCESS_LOG_FIELDS:
+            if field not in record:
+                raise _fail(f"access log line missing {field!r}: {record}")
+        if record["id"] <= last_id:
+            raise _fail(
+                f"access log ids not strictly increasing: "
+                f"{record['id']} after {last_id}"
+            )
+        last_id = record["id"]
+        lines += 1
+    if lines == 0:
+        raise _fail(f"access log {path} is empty")
+    print(f"access log OK: {lines} valid JSONL line(s), ids monotonic")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", type=Path, help="scenario file to serve")
+    parser.add_argument("--events", type=int, default=6000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--window-events", type=int, default=500,
+        help="close a telemetry window every N accesses (deterministic)",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    scenario.telemetry_window_events = args.window_events
+
+    with tempfile.TemporaryDirectory(prefix="repro-live-obs-") as tmp:
+        port_file = Path(tmp) / "port"
+        access_log = Path(tmp) / "access.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(args.scenario),
+                "--port", "0", "--port-file", str(port_file),
+                "--access-log", str(access_log),
+                "--stats-window", "0",
+                "--stats-window-events", str(args.window_events),
+            ],
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            port = _wait_for_port(port_file, process)
+            url = f"http://127.0.0.1:{port}"
+            print(f"daemon pid {process.pid} listening on {url}")
+
+            _check_convergence(url, scenario, args.events, args.workers)
+
+            code = _run_drift(url)
+            if code != 0:
+                raise _fail(
+                    f"drift --url exited {code} on the steady phase "
+                    f"(expected 0: no alerts on a stable workload)"
+                )
+            print("steady-phase drift check OK (exit 0)")
+
+            _inject_shift(url, args.events, args.workers)
+
+            code = _run_drift(url, "--fail-on-drift")
+            if code != 2:
+                raise _fail(
+                    f"drift --url --fail-on-drift exited {code} after the "
+                    f"injected shift (expected 2: hit-ratio alert)"
+                )
+            print("injected-shift drift check OK (exit 2)")
+
+            _check_access_log(access_log)
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        try:
+            exit_code = process.wait(timeout=EXIT_WAIT_S)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+            raise _fail(f"daemon ignored SIGTERM for {EXIT_WAIT_S:.0f}s")
+        if exit_code != 0:
+            raise _fail(f"daemon exited with code {exit_code} after SIGTERM")
+        print("daemon exited cleanly on SIGTERM")
+        print("live-obs smoke OK")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

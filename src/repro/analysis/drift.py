@@ -191,34 +191,91 @@ def detect_level_shifts(
     return shifts
 
 
-def detect_drift(
-    samples: Sequence,
-    metrics: Sequence[str] = DEFAULT_METRICS,
-    history: int = 8,
-    threshold: float = 4.0,
-    alpha: float = 0.3,
-    min_std: float = 0.02,
-) -> List[DriftAlert]:
-    """Drift alerts over a replay's :class:`WindowSample` sequence.
+#: Sample sources drift detection watches: offline replay windows and
+#: live daemon windows.  Sweep samples are excluded — each one is a
+#: whole grid point, and config-to-config jumps are not drift.
+DRIFT_SOURCES = ("replay", "serve")
 
-    Runs one independent :class:`DriftDetector` per metric (each metric
-    has its own regime structure) over the ``source="replay"`` samples
-    and merges the alerts in window order.  Samples where a metric is
-    ``None`` (e.g. entropy of a sub-2-event window) are skipped for
-    that metric without disturbing its detector state.
+
+def _metric_value(sample, metric: str) -> Optional[float]:
+    """A sample's metric value, or None when it is undefined.
+
+    The :class:`~repro.obs.timeseries.WindowSample` ratio properties
+    return a 0.0 *sentinel* when their denominator is empty (a window
+    with no accesses has no hit ratio, not a hit ratio of zero).
+    Feeding the sentinel to a detector would turn every idle window of
+    a live daemon into a fake collapse, so undefined values are treated
+    like a ``None`` entropy: skipped without touching detector state.
     """
-    detectors = {
-        metric: DriftDetector(
-            history=history, threshold=threshold, alpha=alpha, min_std=min_std
-        )
-        for metric in metrics
-    }
-    alerts: List[DriftAlert] = []
-    for sample in samples:
-        if getattr(sample, "source", "replay") != "replay":
-            continue
-        for metric, detector in detectors.items():
-            value = getattr(sample, metric, None)
+    value = getattr(sample, metric, None)
+    if value is None:
+        return None
+    if metric == "hit_ratio" and not (
+        getattr(sample, "hits", 0) + getattr(sample, "misses", 0)
+    ):
+        return None
+    if metric == "prefetch_efficiency" and not getattr(
+        sample, "companion_slots", 0
+    ):
+        return None
+    if metric == "wasted_fetch_share" and not getattr(
+        sample, "store_fetches", 0
+    ):
+        return None
+    if metric == "eviction_rate" and not getattr(sample, "events", 0):
+        return None
+    return float(value)
+
+
+class StreamingDriftMonitor:
+    """Online drift detection over an arriving :class:`WindowSample` stream.
+
+    One independent :class:`DriftDetector` per metric (each metric has
+    its own regime structure); feed samples as they arrive with
+    :meth:`observe` and collect any alerts it returns immediately —
+    this is what lets ``repro drift --url`` flag a workload shift while
+    the daemon is still serving it, rather than after the fact.
+    :func:`detect_drift` is this monitor run over a complete sequence.
+
+    Samples whose ``source`` is not in ``sources`` are ignored; samples
+    where a metric is ``None`` (e.g. entropy of a sub-2-event window)
+    are skipped for that metric without disturbing its detector state.
+    """
+
+    def __init__(
+        self,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        history: int = 8,
+        threshold: float = 4.0,
+        alpha: float = 0.3,
+        min_std: float = 0.02,
+        sources: Sequence[str] = DRIFT_SOURCES,
+    ):
+        self.metrics = tuple(metrics)
+        self.sources = tuple(sources)
+        self.detectors = {
+            metric: DriftDetector(
+                history=history,
+                threshold=threshold,
+                alpha=alpha,
+                min_std=min_std,
+            )
+            for metric in self.metrics
+        }
+        self.samples_seen = 0
+        self.alerts: List[DriftAlert] = []
+
+    def observe(self, sample) -> List[DriftAlert]:
+        """Feed one sample; returns the alerts it raised (often empty).
+
+        Returned alerts are also accumulated on :attr:`alerts`.
+        """
+        if getattr(sample, "source", "replay") not in self.sources:
+            return []
+        self.samples_seen += 1
+        raised: List[DriftAlert] = []
+        for metric, detector in self.detectors.items():
+            value = _metric_value(sample, metric)
             if value is None:
                 continue
             mean = detector.baseline_mean
@@ -226,7 +283,7 @@ def detect_drift(
             if hit is None:
                 continue
             zscore, direction = hit
-            alerts.append(
+            raised.append(
                 DriftAlert(
                     metric=metric,
                     index=sample.index,
@@ -241,6 +298,43 @@ def detect_drift(
                     direction=direction,
                 )
             )
+        self.alerts.extend(raised)
+        return raised
+
+    def warmed_up(self) -> bool:
+        """True once every metric's baseline holds ``history`` windows."""
+        return all(
+            detector.baseline_mean is not None
+            for detector in self.detectors.values()
+        )
+
+
+def detect_drift(
+    samples: Sequence,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    history: int = 8,
+    threshold: float = 4.0,
+    alpha: float = 0.3,
+    min_std: float = 0.02,
+    sources: Sequence[str] = DRIFT_SOURCES,
+) -> List[DriftAlert]:
+    """Drift alerts over a complete :class:`WindowSample` sequence.
+
+    A :class:`StreamingDriftMonitor` run to completion: alerts from
+    ``source="replay"`` (offline replay) and ``source="serve"`` (live
+    daemon) windows, merged in window order.
+    """
+    monitor = StreamingDriftMonitor(
+        metrics=metrics,
+        history=history,
+        threshold=threshold,
+        alpha=alpha,
+        min_std=min_std,
+        sources=sources,
+    )
+    for sample in samples:
+        monitor.observe(sample)
+    alerts = monitor.alerts
     alerts.sort(key=lambda alert: (alert.index, alert.metric))
     return alerts
 

@@ -648,6 +648,176 @@ class _TopDashboard:
             self._redraw()
 
 
+class _AttachDashboard:
+    """Live terminal rendering for ``repro top --attach URL``.
+
+    The same in-place ANSI drawing as :class:`_TopDashboard`, but the
+    lanes are the live daemon's serve windows — hit ratio, request
+    rate, p95 latency — plus the lifetime totals from the most recent
+    ``/stats`` payload and the poll-loop health counters (failures,
+    restarts, gaps).
+    """
+
+    def __init__(self, url: str, plain: bool, stream=None):
+        self.url = url
+        self.stream = stream if stream is not None else sys.stdout
+        self.plain = plain or not self.stream.isatty()
+        self.hit_ratio: List[float] = []
+        self.req_rate: List[float] = []
+        self.p95_ms: List[float] = []
+        self.windows = 0
+        self.stats: dict = {}
+        self.health: dict = {}
+        self._started = time.perf_counter()
+        self._drawn = 0
+
+    def on_window(self, window, health: dict) -> None:
+        """Fold one :class:`~repro.obs.live.LiveWindow` in and redraw."""
+        self.windows += 1
+        self.health = health
+        self.hit_ratio.append(window.hit_ratio)
+        self.req_rate.append(window.requests_per_sec)
+        self.p95_ms.append(window.p95_ms)
+        if self.plain:
+            self.stream.write(self._plain_line(window) + "\n")
+            self.stream.flush()
+        else:
+            self._redraw()
+
+    def on_stats(self, stats: dict) -> None:
+        self.stats = stats
+
+    def _plain_line(self, window) -> str:
+        latency = window.latency_ns
+        return (
+            f"window {window.index}  hit={window.hit_ratio:.3f}  "
+            f"req/s={window.requests_per_sec:,.0f}  "
+            f"p95={float(latency.get('p95_ns', 0.0)) / 1e6:.2f}ms  "
+            f"events={window.sample.events}  errors={window.errors}"
+        )
+
+    def _lines(self) -> List[str]:
+        from .analysis.ascii_chart import render_sparkline
+
+        width = 48
+        elapsed = time.perf_counter() - self._started
+        lines = [f"repro top — attached to {self.url}"]
+        if self.hit_ratio:
+            lines.append(
+                f"  hit ratio  {render_sparkline(self.hit_ratio[-width:]):<{width}} "
+                f"{self.hit_ratio[-1]:.3f}"
+            )
+        if self.req_rate:
+            lines.append(
+                f"  req/s      {render_sparkline(self.req_rate[-width:]):<{width}} "
+                f"{self.req_rate[-1]:,.0f}"
+            )
+        if self.p95_ms:
+            lines.append(
+                f"  p95 ms     {render_sparkline(self.p95_ms[-width:]):<{width}} "
+                f"{self.p95_ms[-1]:.2f}"
+            )
+        cache = self.stats.get("cache", {})
+        if cache:
+            lines.append(
+                f"  lifetime   accesses {self.stats.get('accesses', 0):,}  "
+                f"hit {cache.get('hit_ratio', 0.0):.3f}  "
+                f"errors {self.stats.get('errors', 0)}"
+            )
+        failures = self.health.get("failures", 0)
+        restarts = self.health.get("restarts", 0)
+        gaps = self.health.get("gaps", 0)
+        flaky = (
+            f"  failures {failures}  restarts {restarts}  gaps {gaps}"
+            if failures or restarts or gaps
+            else ""
+        )
+        lines.append(
+            f"  stream     {self.windows} window(s)  {elapsed:5.1f}s{flaky}"
+        )
+        return lines
+
+    def _redraw(self) -> None:
+        lines = self._lines()
+        out = self.stream
+        if self._drawn:
+            out.write(f"\x1b[{self._drawn}F")
+        for line in lines:
+            out.write(f"\x1b[2K{line}\n")
+        self._drawn = len(lines)
+        out.flush()
+
+    def finish(self) -> None:
+        if not self.plain and self.windows:
+            self._redraw()
+
+
+def _cmd_top_attach(args: argparse.Namespace) -> int:
+    """``repro top --attach URL``: dashboard over a live daemon.
+
+    Polls ``/stats?since=`` on the daemon and renders its serve
+    windows until ``--duration`` elapses (or forever without one;
+    Ctrl-C detaches cleanly — the daemon is someone else's process).
+    """
+    from .obs.live import StatsStream
+
+    dashboard = _AttachDashboard(args.attach, args.plain)
+    stream = StatsStream(
+        args.attach, timeout=args.timeout, poll_seconds=args.poll
+    )
+    raws: List[dict] = []
+    try:
+        with stream:
+            for window in stream.stream(duration=args.duration):
+                if stream.last_stats is not None:
+                    dashboard.on_stats(stream.last_stats)
+                dashboard.on_window(window, stream.summary())
+                if args.ts_out is not None:
+                    raws.append(window.raw)
+    except KeyboardInterrupt:
+        pass
+    dashboard.finish()
+    summary = stream.summary()
+    if stream.polls and stream.failures == stream.polls:
+        print(
+            f"never reached {args.attach}: {stream.failures} failed poll(s) "
+            f"— is the daemon running?",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"detached from {args.attach}: {summary['windows']} window(s) over "
+        f"{summary['polls']} poll(s), {summary['failures']} failure(s), "
+        f"{summary['restarts']} restart(s), {summary['gaps']} gap(s)"
+    )
+    if args.ts_out is not None:
+        import json as _json
+
+        target = Path(args.ts_out)
+        if target.parent and not target.parent.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+        from .obs import TS_SCHEMA
+
+        with target.open("w", encoding="utf-8") as out:
+            out.write(
+                _json.dumps(
+                    {
+                        "kind": "meta",
+                        "schema": TS_SCHEMA,
+                        "source": "serve",
+                        "url": args.attach,
+                        "samples": len(raws),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for raw in raws:
+                out.write(_json.dumps(raw, sort_keys=True) + "\n")
+        print(f"wrote {len(raws) + 1} repro.ts/1 JSONL lines to {target}")
+    return 0
+
+
 def _parse_listen(value: str):
     """Parse a ``HOST:PORT`` listen spec (host optional)."""
     host, separator, port = value.rpartition(":")
@@ -665,12 +835,16 @@ def _cmd_top(args: argparse.Namespace) -> int:
     Replay mode drives one distributed system through the trace window
     by window; ``--sweep`` instead watches a ``fig3``-style parameter
     sweep point by point (``--workers N`` fans it out, and the dashboard
-    shows one lane per worker).  ``--listen HOST:PORT`` additionally
-    serves the live series as Prometheus text from ``/metrics``.
+    shows one lane per worker); ``--attach URL`` renders a running
+    ``repro serve`` daemon's live telemetry windows instead of replaying
+    anything locally.  ``--listen HOST:PORT`` additionally serves the
+    live series as Prometheus text from ``/metrics``.
     """
     from .obs import WindowedCollector, serve_metrics, set_collector, write_ts_jsonl
     from .sim.engine import DistributedFileSystem
 
+    if args.attach:
+        return _cmd_top_attach(args)
     if args.sweep:
         from functools import partial
 
@@ -760,18 +934,85 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drift_url(args: argparse.Namespace, metrics: List[str]) -> int:
+    """``repro drift --url``: online drift alerts over a live daemon.
+
+    Attaches a :class:`~repro.obs.live.StatsStream` to the daemon — the
+    cursor starts at 0, so the first poll scans the daemon's whole
+    retained window history — then keeps polling for ``--duration``
+    seconds, feeding every window to a streaming monitor and printing
+    alerts the moment they fire.  ``--duration 0`` (the default) scans
+    the retained history in one poll and exits, which is how a CI step
+    asks "did the workload shift while I was slamming?" after the
+    fact.
+    """
+    from .analysis.drift import StreamingDriftMonitor, drift_rows
+    from .obs.live import StatsStream
+
+    monitor = StreamingDriftMonitor(
+        metrics=metrics,
+        history=args.history,
+        threshold=args.threshold,
+        alpha=args.alpha,
+    )
+    stream = StatsStream(args.url, timeout=args.timeout, poll_seconds=args.poll)
+    print(
+        f"watching {args.url} for {', '.join(metrics)} drift "
+        f"(history {args.history}, z >= {args.threshold:g}, "
+        f"duration {args.duration:g}s)"
+    )
+    try:
+        with stream:
+            for window in stream.stream(duration=args.duration):
+                for alert in monitor.observe(window.sample):
+                    print(f"  ! {alert.describe()}")
+    except KeyboardInterrupt:
+        pass
+    summary = stream.summary()
+    if stream.polls and stream.failures == stream.polls:
+        print(
+            f"never reached {args.url}: {stream.failures} failed poll(s) "
+            f"— is the daemon running?",
+            file=sys.stderr,
+        )
+        return 1
+    alerts = monitor.alerts
+    print(
+        f"\nscanned {monitor.samples_seen} serve window(s) from {args.url} "
+        f"({summary['polls']} poll(s), {summary['failures']} failure(s), "
+        f"{summary['restarts']} restart(s), {summary['gaps']} gap(s))\n"
+    )
+    if not alerts:
+        print("no drift detected: the served series is steady at this threshold")
+        return 0
+    header = ["metric", "window", "event", "direction", "value", "baseline", "z"]
+    rows = [header] + [
+        [str(row[key]) for key in header] for row in drift_rows(alerts)
+    ]
+    print(rows_to_markdown(rows))
+    print()
+    for alert in alerts:
+        print(f"  - {alert.describe()}")
+    return 2 if args.fail_on_drift else 0
+
+
 def _cmd_drift(args: argparse.Namespace) -> int:
     """Change-point scan of a windowed series; exit 2 on drift if asked.
 
     With a positional ``series`` path, scans an existing ``repro.ts/1``
-    export; otherwise replays the chosen workload with windowing on and
-    scans the fresh series.  Alerts are event-indexed, so a flagged
-    window can be cross-examined with ``repro explain``.
+    export; with ``--url`` it polls a running ``repro serve`` daemon's
+    telemetry stream (retained history first, then live windows for
+    ``--duration`` seconds) and alerts online; otherwise replays the
+    chosen workload with windowing on and scans the fresh series.
+    Alerts are event-indexed, so a flagged window can be cross-examined
+    with ``repro explain``.
     """
     from .analysis.drift import detect_drift, drift_rows
     from .obs import load_ts_jsonl, windowing
 
     metrics = [name for name in args.metrics.split(",") if name]
+    if args.url:
+        return _cmd_drift_url(args, metrics)
     if args.series is not None:
         loaded = load_ts_jsonl(args.series)
         samples = loaded["samples"]
@@ -1102,6 +1343,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scenario,
         host=args.host if args.host else None,
         port=args.port,
+        access_log=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
+        window_seconds=args.stats_window,
+        window_events=args.stats_window_events,
     )
     return daemon.run(port_file=args.port_file)
 
@@ -1403,6 +1648,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="watch a fig3 parameter sweep instead of a single replay",
     )
     top.add_argument(
+        "--attach",
+        default="",
+        metavar="URL",
+        help=(
+            "attach to a running repro serve daemon (http://HOST:PORT) and "
+            "render its live telemetry windows instead of replaying"
+        ),
+    )
+    top.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="--attach: detach after this many seconds (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="--attach: seconds between /stats polls (default: 0.5)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="--attach: per-poll socket timeout in seconds",
+    )
+    top.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -1489,6 +1761,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.3,
         help="EWMA smoothing factor in (0, 1]; 1 tests raw window values",
+    )
+    drift.add_argument(
+        "--url",
+        default="",
+        help=(
+            "poll a running repro serve daemon's telemetry stream instead "
+            "of a file or replay (http://HOST:PORT)"
+        ),
+    )
+    drift.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help=(
+            "--url: keep polling this many seconds after the retained "
+            "history (default: 0 = one poll over the history, then exit)"
+        ),
+    )
+    drift.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="--url: seconds between /stats polls (default: 0.5)",
+    )
+    drift.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="--url: per-poll socket timeout in seconds",
     )
     drift.add_argument(
         "--fail-on-drift",
@@ -1624,6 +1925,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write the bound port here once listening (for scripts/CI)",
+    )
+    serve.add_argument(
+        "--access-log",
+        type=Path,
+        default=None,
+        help="append one JSON line per request here (rotated by size)",
+    )
+    serve.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        help="rotate the access log past this size (default: 16 MiB)",
+    )
+    serve.add_argument(
+        "--stats-window",
+        type=float,
+        default=None,
+        help=(
+            "telemetry window in seconds (overrides the scenario; "
+            "0 disables the timer-driven sampler)"
+        ),
+    )
+    serve.add_argument(
+        "--stats-window-events",
+        type=int,
+        default=None,
+        help=(
+            "also close a telemetry window every N accesses "
+            "(overrides the scenario; 0 = timer only)"
+        ),
     )
     serve.set_defaults(handler=_cmd_serve)
 

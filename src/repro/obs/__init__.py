@@ -42,6 +42,7 @@ from .export import (
     snapshot_records,
     write_jsonl,
 )
+from .live import DEFAULT_POLL_SECONDS, LiveWindow, StatsStream
 from .registry import (
     DEFAULT_BOUNDS,
     Counter,
@@ -87,6 +88,9 @@ __all__ = [
     "SCHEMA",
     "TRACE_SCHEMA",
     "TS_SCHEMA",
+    "DEFAULT_POLL_SECONDS",
+    "LiveWindow",
+    "StatsStream",
     "MetricsServer",
     "WindowSample",
     "WindowedCollector",

@@ -1,0 +1,275 @@
+"""Live telemetry polling against a running ``repro serve`` daemon.
+
+:class:`StatsStream` is the client half of the daemon's windowed
+telemetry: it polls ``GET /stats?since=<cursor>`` with a monotonic
+cursor, validates the ``repro.ts/1`` telemetry section, and reassembles
+the incremental responses into a continuous :class:`LiveWindow` stream
+— the same ``WindowSample`` vocabulary the offline replay collectors
+produce, so `repro top --attach` and ``repro drift --url`` reuse the
+dashboard lanes and the :class:`~repro.analysis.drift.DriftDetector`
+unchanged.
+
+The stream is built for unattended monitoring, so it degrades instead
+of raising:
+
+* A failed poll (daemon busy, connection reset, timeout) counts on
+  :attr:`StatsStream.failures`, drops the keep-alive connection, and
+  returns no windows; the next poll reconnects.
+* A daemon **restart** shows up as the returned ``seq`` moving
+  backwards.  The stream resets its cursor to 0, counts the restart,
+  and re-polls once immediately so the new daemon's history is picked
+  up in the same call.
+* Windows that aged out of the daemon's bounded retention between
+  polls (a slow poller against a busy daemon) surface as
+  :attr:`StatsStream.gaps` — the series is honest about holes rather
+  than papering over them.
+
+Only malformed payloads raise (:class:`~repro.serve.schema.WireError`
+via ``validate_stats``/``validate_telemetry``): talking to something
+that is not a telemetry-bearing ``repro.serve/1`` daemon is an operator
+error, not a transient.
+
+All ``repro.serve`` imports are deferred into the methods: this module
+lives in :mod:`repro.obs`, which the serve package imports for its
+schema tags, and the lazy imports keep that edge one-directional at
+import time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .timeseries import WindowSample
+
+#: Default seconds between polls; half the default serve window, so a
+#: poller misses nothing even with one failed poll in between.
+DEFAULT_POLL_SECONDS = 0.5
+
+
+@dataclass
+class LiveWindow:
+    """One daemon telemetry window: the sample plus the serve extras.
+
+    ``sample`` is the ``repro.ts/1`` :class:`WindowSample` (hit ratio,
+    prefetch efficiency, eviction rate — everything the offline
+    tooling computes); ``raw`` is the full wire record including the
+    serve-only fields (``requests``, ``errors``, ``requests_per_sec``,
+    per-window ``latency_ns`` percentiles).
+    """
+
+    sample: WindowSample
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def index(self) -> int:
+        return self.sample.index
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.sample.hit_ratio
+
+    @property
+    def requests_per_sec(self) -> float:
+        return float(self.raw.get("requests_per_sec", 0.0))
+
+    @property
+    def requests(self) -> int:
+        return int(self.raw.get("requests", 0))
+
+    @property
+    def errors(self) -> int:
+        return int(self.raw.get("errors", 0))
+
+    @property
+    def latency_ns(self) -> Dict[str, Any]:
+        latency = self.raw.get("latency_ns")
+        return latency if isinstance(latency, dict) else {}
+
+    @property
+    def p95_ms(self) -> float:
+        return float(self.latency_ns.get("p95_ns", 0.0)) / 1e6
+
+
+class StatsStream:
+    """Incremental ``/stats?since=`` poller with restart tolerance.
+
+    Parameters
+    ----------
+    url:
+        The daemon's base URL (``http://host:port``).
+    timeout:
+        Per-request socket timeout in seconds.
+    poll_seconds:
+        Default cadence for :meth:`stream`.
+
+    The cursor starts at 0, so the **first** successful poll returns
+    the daemon's whole retained window history — attaching after the
+    fact still sees everything the ring kept, which is what lets
+    ``repro drift --url`` flag a workload shift that finished before
+    the command was even run.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 5.0,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+    ):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.poll_seconds = poll_seconds
+        self.cursor = 0
+        self.polls = 0
+        self.failures = 0
+        self.restarts = 0
+        self.gaps = 0
+        self.windows_seen = 0
+        #: The most recent full ``/stats`` payload (telemetry windows
+        #: filtered by the cursor); counter sections are always
+        #: complete, so dashboards read lifetime totals from here.
+        self.last_stats: Optional[Dict[str, Any]] = None
+        self._conn = None
+
+    # -- connection management --------------------------------------------
+    def _connection(self):
+        # Deferred import: see the module docstring.
+        from ..serve.client import ServeConnection
+
+        if self._conn is None:
+            self._conn = ServeConnection(self.url, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "StatsStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- polling -----------------------------------------------------------
+    def _fetch(self, since: int) -> Optional[Dict[str, Any]]:
+        """One validated ``/stats?since=`` round trip; None on transport
+        failure (counted, connection dropped for a clean reconnect)."""
+        from ..serve import schema as wire
+        from ..serve.client import SlamError
+
+        try:
+            _status, payload = self._connection().request(
+                "GET", f"/stats?since={since}"
+            )
+        except SlamError:
+            self.failures += 1
+            self.close()
+            return None
+        wire.validate_stats(payload)
+        wire.validate_telemetry(payload)
+        return payload
+
+    def poll(self) -> List[LiveWindow]:
+        """One poll: the windows that appeared since the last poll.
+
+        Returns ``[]`` on transport failure (see :attr:`failures`) and
+        after quiet polls; advances :attr:`cursor` to the daemon's
+        ``seq`` otherwise.
+        """
+        self.polls += 1
+        payload = self._fetch(self.cursor)
+        if payload is None:
+            return []
+        telemetry = payload["telemetry"]
+        if telemetry["seq"] < self.cursor:
+            # The daemon restarted (seq is monotonic within one daemon
+            # lifetime).  Start over and immediately fetch the new
+            # daemon's full retained history.
+            self.restarts += 1
+            self.cursor = 0
+            payload = self._fetch(0)
+            if payload is None:
+                return []
+            telemetry = payload["telemetry"]
+        records = [
+            record
+            for record in telemetry["windows"]
+            if record.get("index", 0) >= self.cursor
+        ]
+        if records and self.cursor and records[0]["index"] > self.cursor:
+            # Windows aged out of the daemon's bounded ring between
+            # polls; count the hole instead of pretending continuity.
+            self.gaps += records[0]["index"] - self.cursor
+        self.cursor = telemetry["seq"]
+        self.last_stats = payload
+        self.windows_seen += len(records)
+        return [
+            LiveWindow(sample=WindowSample.from_dict(record), raw=record)
+            for record in records
+        ]
+
+    def stream(
+        self,
+        duration: Optional[float] = None,
+        poll_seconds: Optional[float] = None,
+        max_windows: Optional[int] = None,
+    ) -> Iterator[LiveWindow]:
+        """Yield windows as they arrive, polling until a bound is hit.
+
+        ``duration`` bounds wall-clock seconds (None = forever),
+        ``max_windows`` bounds yielded windows.  The generator sleeps
+        ``poll_seconds`` between polls and always issues a final poll
+        before a duration-bound exit so a window closed during the last
+        sleep is not lost.
+        """
+        interval = poll_seconds if poll_seconds is not None else self.poll_seconds
+        deadline = (
+            time.monotonic() + duration if duration is not None else None
+        )
+        yielded = 0
+        while True:
+            for window in self.poll():
+                yield window
+                yielded += 1
+                if max_windows is not None and yielded >= max_windows:
+                    return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            sleep_for = interval
+            if deadline is not None:
+                sleep_for = min(sleep_for, max(deadline - time.monotonic(), 0.0))
+            if sleep_for:
+                time.sleep(sleep_for)
+
+    def final_stats(self) -> Dict[str, Any]:
+        """One unfiltered ``/stats`` snapshot (full retained history).
+
+        Raises on transport failure — this is the explicit "give me the
+        final word" call (convergence checks), not the tolerant poll
+        loop.
+        """
+        from ..serve import schema as wire
+        from ..serve.client import SlamError
+
+        try:
+            _status, payload = self._connection().request("GET", "/stats")
+        except SlamError:
+            self.close()
+            raise
+        wire.validate_stats(payload)
+        wire.validate_telemetry(payload)
+        return payload
+
+    def summary(self) -> Dict[str, Any]:
+        """Poll-loop health counters (for reports and ``--plain`` exits)."""
+        return {
+            "url": self.url,
+            "polls": self.polls,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "gaps": self.gaps,
+            "windows": self.windows_seen,
+            "cursor": self.cursor,
+        }

@@ -80,8 +80,9 @@ WALL_CLOCK_FIELDS = ("seconds", "events_per_sec")
 class WindowSample:
     """One window's telemetry.
 
-    ``source`` is ``"replay"`` (a window of trace events) or
-    ``"sweep"`` (one completed grid point).  ``start`` is the first
+    ``source`` is ``"replay"`` (a window of trace events), ``"sweep"``
+    (one completed grid point) or ``"serve"`` (one daemon telemetry
+    window).  ``start`` is the first
     event index the window covers for replay samples, and the point's
     position within its sweep for sweep samples; ``index`` is the
     sample's global position within its source stream and is strictly
@@ -707,7 +708,7 @@ def _parse_ts_lines(
                         f"{source}:{number}: sample missing numeric "
                         f"{fieldname!r}"
                     )
-            if record.get("source") not in ("replay", "sweep"):
+            if record.get("source") not in ("replay", "sweep", "serve"):
                 raise ObservabilityError(
                     f"{source}:{number}: unknown sample source "
                     f"{record.get('source')!r}"

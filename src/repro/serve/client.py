@@ -397,6 +397,27 @@ class SlamReport:
             }
         )
 
+    def _server_error_cell(self) -> str:
+        """The daemon-side error delta, broken down by endpoint.
+
+        ``0`` on a clean run; otherwise e.g. ``7 (invalidate 5, open 2)``
+        so a 4xx storm names its endpoint instead of hiding in the
+        total while throughput still looks healthy.
+        """
+        total = self.delta.get("server_errors", 0)
+        per_endpoint = self.delta.get("endpoint_errors") or {}
+        if not total:
+            return "0"
+        if not per_endpoint:
+            return str(total)
+        breakdown = ", ".join(
+            f"{name} {count}"
+            for name, count in sorted(
+                per_endpoint.items(), key=lambda item: (-item[1], item[0])
+            )
+        )
+        return f"{total} ({breakdown})"
+
     def rows(self) -> List[List[str]]:
         """Render-ready table rows (the CLI prints these as markdown)."""
         server_cache = self.server.get("cache", {})
@@ -413,6 +434,7 @@ class SlamReport:
             ["latency p99", f"{self.p99_ms:.2f} ms"],
             ["retries", str(self.retries)],
             ["errors", str(self.errors)],
+            ["server errors (this run)", self._server_error_cell()],
             ["served hit ratio (this run)", f"{self.served_hit_ratio:.3f}"],
             [
                 "server lifetime hit ratio",
@@ -427,6 +449,32 @@ class SlamReport:
                 f"{server_cache.get('mean_group_size', 0.0):.2f}",
             ],
         ]
+
+
+def _endpoint_error_delta(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, int]:
+    """Per-endpoint server error growth between two ``/stats`` snapshots.
+
+    Reads the daemon's ``endpoints`` section (absent on pre-telemetry
+    daemons — then this is empty, never an error) and keeps only the
+    endpoints whose error counter actually moved, so the report names
+    the endpoint a 4xx storm hit instead of folding it into a total.
+    """
+    first = before.get("endpoints") or {}
+    second = after.get("endpoints") or {}
+    if not isinstance(first, dict) or not isinstance(second, dict):
+        return {}
+    deltas: Dict[str, int] = {}
+    for name, summary in second.items():
+        if not isinstance(summary, dict):
+            continue
+        grown = summary.get("errors", 0) - (
+            (first.get(name) or {}).get("errors", 0)
+        )
+        if grown:
+            deltas[name] = grown
+    return deltas
 
 
 def run_slam(
@@ -521,6 +569,10 @@ def run_slam(
                 - before["cache"]["group_fetches"]
             ),
             "accesses": after.get("accesses", 0) - before.get("accesses", 0),
+            "server_errors": (
+                after.get("errors", 0) - before.get("errors", 0)
+            ),
+            "endpoint_errors": _endpoint_error_delta(before, after),
         },
     )
     if raise_on_error and report.failures:

@@ -76,6 +76,10 @@ class Scenario:
     # journal
     journal_enabled: bool = True
     journal_max_events: int = 200_000
+    # telemetry (the windowed /stats time-series)
+    telemetry_window_seconds: float = 1.0
+    telemetry_window_events: int = 0
+    telemetry_retain: int = 512
     # provenance
     source: str = "<inline>"
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -115,6 +119,11 @@ class Scenario:
                 "enabled": self.journal_enabled,
                 "max_events": self.journal_max_events,
             },
+            "telemetry": {
+                "window_seconds": self.telemetry_window_seconds,
+                "window_events": self.telemetry_window_events,
+                "retain": self.telemetry_retain,
+            },
         }
 
 
@@ -152,7 +161,16 @@ def scenario_from_dict(
         )
     _require(
         payload,
-        ("schema", "name", "description", "server", "cache", "workload", "journal"),
+        (
+            "schema",
+            "name",
+            "description",
+            "server",
+            "cache",
+            "workload",
+            "journal",
+            "telemetry",
+        ),
         source,
         "top-level",
     )
@@ -237,6 +255,43 @@ def scenario_from_dict(
     )
     if scenario.journal_max_events < 1:
         raise ScenarioError(f"{source}: journal.max_events must be >= 1")
+
+    telemetry = _typed(payload.get("telemetry", {}), Mapping, source, "telemetry")
+    _require(
+        telemetry, ("window_seconds", "window_events", "retain"), source, "telemetry"
+    )
+    window_seconds = telemetry.get(
+        "window_seconds", scenario.telemetry_window_seconds
+    )
+    if isinstance(window_seconds, bool) or not isinstance(
+        window_seconds, (int, float)
+    ):
+        raise ScenarioError(
+            f"{source}: telemetry.window_seconds must be a number, "
+            f"got {window_seconds!r}"
+        )
+    scenario.telemetry_window_seconds = float(window_seconds)
+    scenario.telemetry_window_events = _typed(
+        telemetry.get("window_events", scenario.telemetry_window_events),
+        int,
+        source,
+        "telemetry.window_events",
+    )
+    scenario.telemetry_retain = _typed(
+        telemetry.get("retain", scenario.telemetry_retain),
+        int,
+        source,
+        "telemetry.retain",
+    )
+    if scenario.telemetry_window_seconds < 0:
+        raise ScenarioError(
+            f"{source}: telemetry.window_seconds must be >= 0 (0 disables "
+            f"the timer-driven sampler)"
+        )
+    if scenario.telemetry_window_events < 0:
+        raise ScenarioError(f"{source}: telemetry.window_events must be >= 0")
+    if scenario.telemetry_retain < 1:
+        raise ScenarioError(f"{source}: telemetry.retain must be >= 1")
     return scenario
 
 

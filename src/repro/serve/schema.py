@@ -44,9 +44,31 @@ HTTP status: 400 malformed body, 404 unknown path or unknown file,
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.export import TS_SCHEMA
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "SLAM_SCHEMA",
+    "TS_SCHEMA",
+    "MAX_BODY_BYTES",
+    "MAX_BATCH",
+    "WireError",
+    "error_body",
+    "parse_body",
+    "parse_open",
+    "parse_fetch",
+    "parse_invalidate",
+    "parse_since",
+    "validate_stats",
+    "validate_telemetry",
+    "journal_entry",
+    "decode_journal_entry",
+    "replay_journal",
+    "slam_report_payload",
+]
 
 #: Schema tag carried by ``/stats`` payloads and slam reports.
 SERVE_SCHEMA = "repro.serve/1"
@@ -141,6 +163,66 @@ def parse_invalidate(payload: Mapping[str, Any]) -> str:
     if "file" not in payload:
         raise WireError("invalidate request is missing required field 'file'")
     return _file_id(payload["file"], "file")
+
+
+def parse_since(query: str) -> Optional[int]:
+    """Parse the ``since`` cursor from a ``/stats`` query string.
+
+    Returns None when the query carries no ``since`` parameter (the
+    full retained window history is wanted).  Unknown parameters are
+    ignored — a future poller may send more than this daemon knows —
+    but a malformed ``since`` is a 400, not a silent full download.
+    """
+    if not query:
+        return None
+    from urllib.parse import parse_qs
+
+    values = parse_qs(query, keep_blank_values=True).get("since")
+    if not values:
+        return None
+    raw = values[-1]
+    try:
+        since = int(raw)
+    except ValueError:
+        raise WireError(
+            f"query parameter 'since' must be an integer, got {raw!r}"
+        )
+    if since < 0:
+        raise WireError(
+            f"query parameter 'since' must be >= 0, got {since}"
+        )
+    return since
+
+
+def validate_telemetry(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check a ``/stats`` ``telemetry`` section carries the contract.
+
+    Used by :class:`repro.obs.live.StatsStream` so a poller attached to
+    a pre-telemetry daemon (or a non-repro server) fails with a clear
+    message instead of an attribute error three layers down.
+    """
+    telemetry = payload.get("telemetry")
+    if not isinstance(telemetry, dict):
+        raise WireError(
+            "stats payload has no 'telemetry' section — daemon predates "
+            "windowed telemetry (repro.serve/1 with repro.ts/1 windows)"
+        )
+    if telemetry.get("schema") != TS_SCHEMA:
+        raise WireError(
+            f"telemetry section has schema {telemetry.get('schema')!r}, "
+            f"expected {TS_SCHEMA}"
+        )
+    for field in ("seq", "windows", "retained", "dropped"):
+        if field not in telemetry:
+            raise WireError(f"telemetry section is missing {field!r}")
+    if not isinstance(telemetry["seq"], int) or telemetry["seq"] < 0:
+        raise WireError(
+            f"telemetry seq must be a non-negative integer, "
+            f"got {telemetry['seq']!r}"
+        )
+    if not isinstance(telemetry["windows"], list):
+        raise WireError("telemetry windows must be a list of sample objects")
+    return dict(telemetry)
 
 
 def validate_stats(payload: Mapping[str, Any]) -> Dict[str, Any]:

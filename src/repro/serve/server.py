@@ -27,10 +27,34 @@ schema.  The design constraints:
   wake the serve loop; :meth:`close` is idempotent and always releases
   the listening socket, so a supervised daemon dies without orphans.
 
-The daemon process keeps the repository's observability stance: no
-per-event registry traffic unless the operator turns collection on.
-Request latency is recorded in a bounded ring local to the daemon and
-summarized as percentiles in ``/stats`` and ``/metrics``.
+Observability — the daemon is a *production-monitoring surface*, not
+just a replay harness:
+
+* **Per-endpoint telemetry.**  Every endpoint keeps its own
+  :class:`EndpointStats` — a bounded :class:`LatencyRing` for
+  percentiles, per-status-code counters, and an error count — and
+  mirrors latency/error/status into ns-histograms and counters in a
+  daemon-local :class:`~repro.obs.registry.MetricsRegistry`
+  (``serve.endpoint.<name>.*``).  ``/stats`` exposes the summaries
+  under ``endpoints``; ``/metrics`` renders the per-endpoint request
+  and error counters.
+* **Windowed time-series.**  :class:`DaemonTelemetry` closes
+  fixed-duration (and optionally fixed-event-count) windows over the
+  served counters and retains a bounded ring of ``repro.ts/1``
+  ``source="serve"`` samples — hit ratio, prefetch efficiency, request
+  rate, and per-window latency percentiles — under a monotonic ``seq``
+  cursor.  ``GET /stats?since=N`` returns only windows with ``index >=
+  N``, so a live poller (:class:`repro.obs.live.StatsStream`, ``repro
+  top --attach``, ``repro drift --url``) pays one small JSON body per
+  poll instead of re-downloading history.
+* **Structured access log.**  ``--access-log PATH`` appends one JSON
+  line per request (request id, endpoint, method, status, latency,
+  files touched) with size-based rotation — see :class:`AccessLog`.
+
+The instrumentation keeps the repository's observability stance: the
+idle daemon costs nothing (the sampler thread wakes, sees no activity,
+and goes back to sleep without allocating), and the per-request cost is
+a handful of dict increments under the lock the request already holds.
 """
 
 from __future__ import annotations
@@ -42,8 +66,9 @@ import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..obs.registry import MetricsRegistry
 from . import schema as wire
 from .scenario import Scenario
 
@@ -52,9 +77,25 @@ from .scenario import Scenario
 #: the cumulative count/total stay exact.
 LATENCY_RING = 65536
 
+#: Per-window latency samples retained between window boundaries; a
+#: window busier than this still counts every request, but percentiles
+#: cover the newest samples only (the ``latency_ns.count`` field says
+#: how many the window really saw).
+WINDOW_LATENCY_RING = 16384
+
+#: Default access-log rotation threshold.
+ACCESS_LOG_MAX_BYTES = 16 * 1024 * 1024
+
 
 class LatencyRing:
-    """Bounded per-request latency samples with exact cumulative totals."""
+    """Bounded per-request latency samples with exact cumulative totals.
+
+    ``count`` and ``total_ns`` (and therefore ``mean_ns``) are exact
+    over the ring's whole lifetime; the percentile window covers only
+    the newest ``maxlen`` samples.  ``dropped`` says how many samples
+    have aged out, so a consumer can tell an exactly-full ring from a
+    wrapped one and label its percentiles honestly.
+    """
 
     def __init__(self, maxlen: int = LATENCY_RING):
         self.samples: deque = deque(maxlen=maxlen)
@@ -66,18 +107,327 @@ class LatencyRing:
         self.count += 1
         self.total_ns += ns
 
+    @property
+    def dropped(self) -> int:
+        """Samples that have aged out of the percentile window."""
+        return self.count - len(self.samples)
+
+    def window_values(self) -> List[int]:
+        """The retained samples, oldest first (a copy, safe to sort)."""
+        return list(self.samples)
+
     def summary(self) -> Dict[str, Any]:
-        """count/mean plus p50/p95/p99 over the retained window."""
+        """count/dropped/mean plus p50/p95/p99 over the retained window.
+
+        Percentile edge cases are pinned down by tests: an empty ring
+        reports zeros, a single sample reports itself at every
+        percentile, and a wrapped ring reports ``dropped > 0`` with
+        percentiles over the window only (the mean stays lifetime-exact).
+        """
         from .client import percentile
 
         window = sorted(self.samples)
         return {
             "count": self.count,
+            "dropped": self.dropped,
             "mean_ns": (self.total_ns / self.count) if self.count else 0.0,
             "window": len(window),
             "p50_ns": percentile(window, 0.50),
             "p95_ns": percentile(window, 0.95),
             "p99_ns": percentile(window, 0.99),
+        }
+
+
+class EndpointStats:
+    """One endpoint's request accounting.
+
+    Latency percentiles come from a per-endpoint :class:`LatencyRing`;
+    the same observations feed an ns-histogram and error/status
+    counters in the daemon's :class:`MetricsRegistry` under
+    ``serve.endpoint.<name>.*``, so the registry snapshot and the
+    ``/stats`` summary can never disagree about what was served.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        registry: MetricsRegistry,
+        maxlen: int = LATENCY_RING,
+    ):
+        self.endpoint = endpoint
+        self.name = endpoint.strip("/").replace("/", "_") or "root"
+        self.ring = LatencyRing(maxlen)
+        self.errors = 0
+        self.statuses: Dict[int, int] = {}
+        self._registry = registry
+        self._histogram = registry.histogram(
+            f"serve.endpoint.{self.name}.latency_ns"
+        )
+        self._error_counter = registry.counter(
+            f"serve.endpoint.{self.name}.errors"
+        )
+
+    @property
+    def requests(self) -> int:
+        return self.ring.count
+
+    def record(self, status: int, ns: int) -> None:
+        """Fold one completed request in (caller holds the daemon lock)."""
+        self.ring.observe(ns)
+        self._histogram.observe(ns)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self._registry.counter(
+            f"serve.endpoint.{self.name}.status.{status}"
+        ).inc()
+        if status >= 400:
+            self.errors += 1
+            self._error_counter.inc()
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``/stats`` ``endpoints`` entry for this endpoint."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "statuses": {
+                str(code): count
+                for code, count in sorted(self.statuses.items())
+            },
+            "latency_ns": self.ring.summary(),
+        }
+
+
+class AccessLog:
+    """Structured JSONL access log with size-based rotation.
+
+    One JSON object per line: ``ts`` (epoch seconds), ``id`` (the
+    daemon's monotonically increasing request id), ``endpoint``,
+    ``method``, ``status``, ``latency_ns``, and ``events`` (files
+    touched by the request; 0 for read-only endpoints).  When the file
+    would exceed ``max_bytes`` it is rotated to ``<path>.1`` (…``.N``
+    up to ``backups``) before the write, so no single log file grows
+    without bound under slam load.
+
+    Thread-safe via its own lock — handler threads log after releasing
+    the cache lock, so logging never extends the serial section.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_bytes: int = ACCESS_LOG_MAX_BYTES,
+        backups: int = 1,
+    ):
+        if max_bytes < 1:
+            raise wire.WireError(f"access-log max_bytes must be >= 1, got {max_bytes}")
+        if backups < 0:
+            raise wire.WireError(f"access-log backups must be >= 0, got {backups}")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.lines = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            if self._size and self._size + encoded > self.max_bytes:
+                self._rotate()
+            self._stream.write(line)
+            self._stream.flush()
+            self._size += encoded
+            self.lines += 1
+
+    def _rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> … -> ``path.backups``."""
+        self._stream.close()
+        if self.backups:
+            for index in range(self.backups, 1, -1):
+                older = self.path.with_name(f"{self.path.name}.{index - 1}")
+                if older.exists():
+                    older.replace(
+                        self.path.with_name(f"{self.path.name}.{index}")
+                    )
+            self.path.replace(self.path.with_name(f"{self.path.name}.1"))
+        else:
+            self.path.unlink()
+        self._stream = self.path.open("a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._stream.closed:
+                self._stream.close()
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "lines": self.lines,
+            "rotations": self.rotations,
+            "max_bytes": self.max_bytes,
+        }
+
+
+class DaemonTelemetry:
+    """Windowed ``repro.ts/1`` time-series over the daemon's counters.
+
+    Windows close on a timer (``window_seconds``, the request-rate
+    signal survives idle gaps) and, when ``window_events > 0``, as soon
+    as that many accesses accumulate (deterministic windows under
+    load — what ``scripts/check_live_obs.py`` keys its drift scenario
+    on).  Each closed window is one ``source="serve"`` sample dict —
+    the exact vocabulary of :class:`repro.obs.timeseries.WindowSample`
+    plus serve-only extras (``requests``, ``errors``,
+    ``requests_per_sec``, and per-window ``latency_ns`` percentiles).
+
+    ``seq`` counts every window ever emitted; the ring retains the
+    newest ``retain`` of them and ``dropped`` says how many aged out.
+    ``GET /stats?since=N`` filters on the per-window ``index``, so a
+    poller's cursor survives ring truncation (it just sees a gap and
+    the ``dropped`` count says why).
+
+    All mutation happens under the daemon's lock; empty windows (no
+    requests, no accesses) are skipped so an idle daemon emits nothing
+    and pays nothing beyond the sampler thread's periodic wakeup.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        window_events: int,
+        retain: int,
+        label: str = "",
+    ):
+        self.window_seconds = window_seconds
+        self.window_events = window_events
+        self.retain = retain
+        self.label = label
+        self.windows: deque = deque(maxlen=retain)
+        self.seq = 0
+        self.dropped = 0
+        self.latencies: deque = deque(maxlen=WINDOW_LATENCY_RING)
+        self.latency_count = 0
+        self.requests = 0
+        self.errors = 0
+        self.opened_at = time.perf_counter()
+        self.start_accesses = 0
+        self._last: Optional[Tuple[int, ...]] = None
+
+    def snapshot_due(self, accesses: int) -> bool:
+        """Should the event-count trigger close a window now?"""
+        return (
+            self.window_events > 0
+            and accesses - self.start_accesses >= self.window_events
+        )
+
+    def close_window(
+        self, counters: Tuple[int, ...], group_size: int, force: bool = False
+    ) -> Optional[Dict[str, Any]]:
+        """Close the current window over a counter snapshot.
+
+        ``counters`` is ``(accesses, hits, misses, evictions, installs,
+        group_fetches, files_retrieved, invalidations)`` — cumulative,
+        read under the daemon lock.  Returns the emitted sample dict,
+        or None when the window was empty (skipped; the window clock
+        restarts so a later active window reports an honest duration).
+        """
+        now = time.perf_counter()
+        if self._last is None:
+            # The baseline is daemon start, where every counter is 0 —
+            # the first window must cover everything served so far.
+            self._last = (0,) * len(counters)
+        deltas = tuple(a - b for a, b in zip(counters, self._last))
+        (
+            accesses,
+            hits,
+            misses,
+            evictions,
+            installs,
+            group_fetches,
+            files_retrieved,
+            invalidations,
+        ) = deltas
+        if not force and accesses == 0 and self.requests == 0:
+            self.opened_at = now
+            return None
+        seconds = max(now - self.opened_at, 1e-9)
+        # Deferred import: repro.obs.timeseries is import-light, but the
+        # serve package must stay importable before obs finishes loading.
+        from ..obs.timeseries import WindowSample
+
+        sample = WindowSample(
+            source="serve",
+            index=self.seq,
+            start=self.start_accesses,
+            events=accesses,
+            seconds=seconds,
+            hits=hits,
+            misses=misses,
+            remote_requests=misses,
+            store_fetches=files_retrieved,
+            bytes_fetched=files_retrieved,
+            group_installs=installs,
+            companion_slots=group_fetches * max(group_size - 1, 0),
+            speculative_fetches=max(files_retrieved - group_fetches, 0),
+            evictions=evictions,
+            invalidations=invalidations,
+            entropy=None,
+            label=self.label,
+        )
+        record = sample.to_dict()
+        window_latencies = sorted(self.latencies)
+        from .client import percentile
+
+        record["requests"] = self.requests
+        record["errors"] = self.errors
+        record["requests_per_sec"] = self.requests / seconds
+        record["latency_ns"] = {
+            "count": self.latency_count,
+            "window": len(window_latencies),
+            "mean_ns": (
+                sum(window_latencies) / len(window_latencies)
+                if window_latencies
+                else 0.0
+            ),
+            "p50_ns": percentile(window_latencies, 0.50),
+            "p95_ns": percentile(window_latencies, 0.95),
+            "p99_ns": percentile(window_latencies, 0.99),
+        }
+        if len(self.windows) == self.windows.maxlen:
+            self.dropped += 1
+        self.windows.append(record)
+        self.seq += 1
+        # Open the next window.
+        self._last = counters
+        self.start_accesses = counters[0]
+        self.opened_at = now
+        self.latencies.clear()
+        self.latency_count = 0
+        self.requests = 0
+        self.errors = 0
+        return record
+
+    def payload(self, since: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/stats`` ``telemetry`` section (caller holds the lock)."""
+        if since is None:
+            windows = list(self.windows)
+        else:
+            windows = [w for w in self.windows if w["index"] >= since]
+        return {
+            "schema": wire.TS_SCHEMA,
+            "seq": self.seq,
+            "window_seconds": self.window_seconds,
+            "window_events": self.window_events,
+            "retain": self.retain,
+            "retained": len(self.windows),
+            "dropped": self.dropped,
+            "windows": windows,
         }
 
 
@@ -88,11 +438,19 @@ class CacheDaemon:
     ----------
     scenario:
         The validated deployment description; supplies the cache
-        configuration, bind address, and journal policy.
+        configuration, bind address, journal policy, and telemetry
+        window defaults.
     host / port:
         Optional overrides of the scenario's bind address (the CLI's
         ``--host`` / ``--port`` flags).  Port 0 binds an ephemeral port;
         read the chosen one from :attr:`port`.
+    access_log:
+        Optional path for the structured JSONL access log (the CLI's
+        ``--access-log``); ``access_log_max_bytes`` sets the rotation
+        threshold.
+    window_seconds / window_events:
+        Optional overrides of the scenario's telemetry windows (the
+        CLI's ``--stats-window`` / ``--stats-window-events``).
     """
 
     def __init__(
@@ -100,16 +458,41 @@ class CacheDaemon:
         scenario: Scenario,
         host: Optional[str] = None,
         port: Optional[int] = None,
+        access_log: Optional[Union[str, Path]] = None,
+        access_log_max_bytes: int = ACCESS_LOG_MAX_BYTES,
+        window_seconds: Optional[float] = None,
+        window_events: Optional[int] = None,
     ):
         self.scenario = scenario
         self.cache = scenario.build_cache()
         self._lock = threading.RLock()
         self._seq = 0
-        self._requests: Dict[str, int] = {}
+        self._request_ids = 0
         self._errors = 0
         self._invalidations = 0
         self._invalidation_misses = 0
+        self.registry = MetricsRegistry()
+        self._endpoints: Dict[str, EndpointStats] = {}
         self._latency = LatencyRing()
+        self.telemetry = DaemonTelemetry(
+            window_seconds=(
+                window_seconds
+                if window_seconds is not None
+                else scenario.telemetry_window_seconds
+            ),
+            window_events=(
+                window_events
+                if window_events is not None
+                else scenario.telemetry_window_events
+            ),
+            retain=scenario.telemetry_retain,
+            label=scenario.name,
+        )
+        self.access_log = (
+            AccessLog(access_log, max_bytes=access_log_max_bytes)
+            if access_log is not None
+            else None
+        )
         self._journal: Optional[deque] = (
             deque(maxlen=scenario.journal_max_events)
             if scenario.journal_enabled
@@ -145,15 +528,32 @@ class CacheDaemon:
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-serve", daemon=True
         )
+        self._sampler = (
+            threading.Thread(
+                target=self._sampler_loop,
+                name="repro-serve-sampler",
+                daemon=True,
+            )
+            if self.telemetry.window_seconds > 0
+            else None
+        )
 
     # -- lifecycle ---------------------------------------------------------
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def accesses(self) -> int:
+        """Cache accesses served so far (the ``accesses`` field of /stats)."""
+        with self._lock:
+            return self._seq
+
     def start(self) -> "CacheDaemon":
         """Serve from a background thread (tests, embedded use)."""
         self._thread.start()
+        if self._sampler is not None:
+            self._sampler.start()
         return self
 
     def close(self) -> None:
@@ -170,7 +570,11 @@ class CacheDaemon:
         if self._thread.is_alive():
             self._httpd.shutdown()
             self._thread.join(timeout=5)
+        if self._sampler is not None and self._sampler.is_alive():
+            self._sampler.join(timeout=5)
         self._httpd.server_close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def __enter__(self) -> "CacheDaemon":
         return self.start()
@@ -181,6 +585,24 @@ class CacheDaemon:
     def request_stop(self) -> None:
         """Ask the blocking :meth:`run` loop to exit (thread-safe)."""
         self._stop.set()
+
+    def _sampler_loop(self) -> None:
+        """Close a telemetry window every ``window_seconds`` of activity."""
+        while not self._stop.wait(self.telemetry.window_seconds):
+            with self._lock:
+                self.telemetry.close_window(
+                    self._counter_snapshot(), self.scenario.group_size
+                )
+
+    def force_sample(self) -> Optional[Dict[str, Any]]:
+        """Close the current telemetry window now (tests, shutdown paths).
+
+        Skips (returns None) when the window is empty, like the timer.
+        """
+        with self._lock:
+            return self.telemetry.close_window(
+                self._counter_snapshot(), self.scenario.group_size
+            )
 
     def run(
         self,
@@ -216,6 +638,8 @@ class CacheDaemon:
                 f"(capacity {self.scenario.capacity}, "
                 f"g={self.scenario.group_size}, pid {self._pid()})"
             )
+            if self.access_log is not None:
+                announce(f"access log: {self.access_log.path}")
         try:
             while not self._stop.wait(0.2):
                 pass
@@ -253,9 +677,26 @@ class CacheDaemon:
         ("GET", "/healthz"),
     }
 
+    #: Paths that get their own EndpointStats entry.  Anything else
+    #: (port scans, typos) folds into one ``/_other`` bucket so a 404
+    #: storm cannot grow the endpoint table or the metrics registry
+    #: without bound.
+    _KNOWN_PATHS = frozenset(path for _method, path in _ROUTES)
+
+    #: Read-only observability endpoints.  These are fully counted in
+    #: the per-endpoint stats but excluded from the telemetry windows'
+    #: request totals — otherwise an attached poller's own ``/stats``
+    #: traffic would keep emitting windows on an idle daemon (and its
+    #: request rate would measure the monitoring, not the serving).
+    _OBSERVABILITY_PATHS = frozenset(
+        ("/stats", "/metrics", "/healthz", "/journal")
+    )
+
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         started = time.perf_counter_ns()
-        path = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = handler.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        events = 0
         try:
             if (method, path) not in self._ROUTES:
                 known = any(path == route for _m, route in self._ROUTES)
@@ -275,10 +716,12 @@ class CacheDaemon:
                 raw = handler.rfile.read(length) if length else b""
             else:
                 raw = b""
-            status, payload = self._handle(method, path, raw)
+            status, payload = self._handle(method, path, raw, query)
         except wire.WireError as error:
-            with self._lock:
-                self._errors += 1
+            # Record before responding: once a client has seen the reply
+            # it may immediately scrape /stats, and the counters must
+            # already include this request (no read-your-writes gap).
+            self._record(path, method, error.status, started, 0)
             self._respond(
                 handler,
                 error.status,
@@ -286,10 +729,13 @@ class CacheDaemon:
             )
             return
         except Exception as error:  # pragma: no cover - defensive 500
-            with self._lock:
-                self._errors += 1
+            self._record(path, method, 500, started, 0)
             self._respond(handler, 500, wire.error_body(repr(error), 500))
             return
+        if isinstance(payload, dict):
+            events = int(payload.get("count", 0)) or (
+                1 if path in ("/open", "/invalidate") else 0
+            )
         body = (
             payload
             if isinstance(payload, bytes)
@@ -300,12 +746,66 @@ class CacheDaemon:
             if path == "/metrics"
             else "application/json"
         )
+        self._record(path, method, status, started, events)
         self._respond(handler, status, body, content_type)
-        elapsed = time.perf_counter_ns() - started
+
+    def _record(
+        self, path: str, method: str, status: int, started_ns: int, events: int
+    ) -> None:
+        """Fold one completed request into every telemetry surface."""
+        elapsed = time.perf_counter_ns() - started_ns
+        telemetry = self.telemetry
+        bucket = path if path in self._KNOWN_PATHS else "/_other"
         with self._lock:
-            self._requests[path] = self._requests.get(path, 0) + 1
+            self._request_ids += 1
+            request_id = self._request_ids
+            endpoint = self._endpoints.get(bucket)
+            if endpoint is None:
+                endpoint = EndpointStats(bucket, self.registry)
+                self._endpoints[bucket] = endpoint
+            endpoint.record(status, elapsed)
+            observability = path in self._OBSERVABILITY_PATHS
+            if status >= 400:
+                self._errors += 1
+                if not observability:
+                    telemetry.errors += 1
             if path in ("/open", "/fetch"):
                 self._latency.observe(elapsed)
+                telemetry.latencies.append(elapsed)
+                telemetry.latency_count += 1
+            if not observability:
+                telemetry.requests += 1
+            if telemetry.snapshot_due(self._seq):
+                telemetry.close_window(
+                    self._counter_snapshot(), self.scenario.group_size
+                )
+        if self.access_log is not None:
+            self.access_log.write(
+                {
+                    "ts": time.time(),
+                    "id": request_id,
+                    "endpoint": path,
+                    "method": method,
+                    "status": status,
+                    "latency_ns": elapsed,
+                    "events": events,
+                }
+            )
+
+    def _counter_snapshot(self) -> Tuple[int, ...]:
+        """Cumulative counters for telemetry windows (caller holds lock)."""
+        stats = self.cache.stats
+        log = self.cache.fetch_log
+        return (
+            self._seq,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.installs,
+            log.group_fetches,
+            log.files_retrieved,
+            self._invalidations,
+        )
 
     @staticmethod
     def _respond(
@@ -325,7 +825,7 @@ class CacheDaemon:
 
     # -- endpoint handlers -------------------------------------------------
     def _handle(
-        self, method: str, path: str, raw: bytes
+        self, method: str, path: str, raw: bytes, query: str = ""
     ) -> Tuple[int, Any]:
         if path == "/open":
             return 200, self._do_open(wire.parse_body(raw, "open"))
@@ -334,7 +834,7 @@ class CacheDaemon:
         if path == "/invalidate":
             return 200, self._do_invalidate(wire.parse_body(raw, "invalidate"))
         if path == "/stats":
-            return 200, self.stats_payload()
+            return 200, self.stats_payload(since=wire.parse_since(query))
         if path == "/metrics":
             return 200, self.prometheus_text().encode("utf-8")
         if path == "/journal":
@@ -448,12 +948,25 @@ class CacheDaemon:
         }
 
     # -- observable state --------------------------------------------------
-    def stats_payload(self) -> Dict[str, Any]:
-        """The ``/stats`` snapshot (also usable in-process)."""
+    def stats_payload(self, since: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/stats`` snapshot (also usable in-process).
+
+        ``since`` filters the ``telemetry.windows`` list to windows
+        with ``index >= since`` (the ``?since=`` query parameter); the
+        counter sections are always complete.
+        """
         with self._lock:
             cache_stats = self.cache.stats_dict()
-            requests = dict(self._requests)
+            requests = {
+                endpoint: stats.requests
+                for endpoint, stats in self._endpoints.items()
+            }
+            endpoints = {
+                stats.name: stats.summary()
+                for stats in self._endpoints.values()
+            }
             latency = self._latency.summary()
+            telemetry = self.telemetry.payload(since=since)
             payload = {
                 "schema": wire.SERVE_SCHEMA,
                 "scenario": self.scenario.to_dict(),
@@ -471,8 +984,12 @@ class CacheDaemon:
                     ),
                 },
                 "latency_ns": latency,
+                "endpoints": endpoints,
+                "telemetry": telemetry,
                 "cache": cache_stats,
             }
+            if self.access_log is not None:
+                payload["access_log"] = self.access_log.summary()
         return payload
 
     def prometheus_text(self, prefix: str = "repro_serve") -> str:
@@ -504,9 +1021,25 @@ class CacheDaemon:
         metric("files_retrieved_total", "counter", "Files shipped from the store", cache["files_retrieved"])
         metric("invalidations_total", "counter", "Files dropped by callback breaks", stats["invalidations"])
         metric("errors_total", "counter", "Requests rejected or failed", stats["errors"])
-        for endpoint, count in sorted(stats["requests"].items()):
-            name = endpoint.strip("/").replace("/", "_") or "root"
-            metric(f"requests_{name}_total", "counter", f"Requests to {endpoint}", count)
+        for name, summary in sorted(stats["endpoints"].items()):
+            metric(
+                f"requests_{name}_total",
+                "counter",
+                f"Requests to /{name}",
+                summary["requests"],
+            )
+            metric(
+                f"errors_{name}_total",
+                "counter",
+                f"Rejected or failed requests to /{name}",
+                summary["errors"],
+            )
+        metric(
+            "telemetry_windows_total",
+            "counter",
+            "Telemetry windows emitted",
+            stats["telemetry"]["seq"],
+        )
         metric("hit_ratio", "gauge", "Lifetime server hit ratio", float(cache["hit_ratio"]))
         metric("mean_group_size", "gauge", "Mean files shipped per group fetch", float(cache["mean_group_size"]))
         metric("resident_files", "gauge", "Files resident in the cache", cache["resident"])

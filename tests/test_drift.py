@@ -199,3 +199,106 @@ class TestWorkloadDriftReport:
         assert body
         assert all(row[0] == "server" for row in body)
         assert body[0][1] == "8"
+
+
+class TestMetricValue:
+    def test_defined_ratios_pass_through(self):
+        from repro.analysis.drift import _metric_value
+
+        sample = WindowSample(
+            events=100, hits=80, misses=20, store_fetches=10,
+            companion_slots=5, speculative_fetches=3, evictions=4,
+        )
+        assert _metric_value(sample, "hit_ratio") == pytest.approx(0.8)
+        assert _metric_value(sample, "eviction_rate") == pytest.approx(0.04)
+
+    def test_undefined_ratios_return_none(self):
+        from repro.analysis.drift import _metric_value
+
+        idle = WindowSample(events=0)
+        assert _metric_value(idle, "hit_ratio") is None
+        assert _metric_value(idle, "eviction_rate") is None
+        assert _metric_value(idle, "prefetch_efficiency") is None
+        assert _metric_value(idle, "wasted_fetch_share") is None
+        # events flowed but no prefetching happened: efficiency undefined
+        busy = WindowSample(events=10, hits=10)
+        assert _metric_value(busy, "prefetch_efficiency") is None
+        assert _metric_value(busy, "wasted_fetch_share") is None
+
+
+class TestStreamingDriftMonitor:
+    @staticmethod
+    def samples(ratios, source="serve"):
+        out = []
+        for index, ratio in enumerate(ratios):
+            hits = int(round(ratio * 100))
+            out.append(
+                WindowSample(
+                    source=source,
+                    index=index,
+                    events=100,
+                    hits=hits,
+                    misses=100 - hits,
+                )
+            )
+        return out
+
+    def test_observe_alerts_on_level_shift(self):
+        from repro.analysis.drift import StreamingDriftMonitor
+
+        monitor = StreamingDriftMonitor(
+            metrics=("hit_ratio",), history=8, threshold=4.0
+        )
+        alerts = []
+        for sample in self.samples([0.8] * 12 + [0.1] * 3):
+            alerts.extend(monitor.observe(sample))
+        assert len(alerts) >= 1
+        first = alerts[0]
+        assert first.metric == "hit_ratio"
+        assert first.direction == "drop"
+        assert monitor.alerts == alerts
+        assert monitor.samples_seen == 15
+
+    def test_steady_stream_stays_quiet(self):
+        from repro.analysis.drift import StreamingDriftMonitor
+
+        monitor = StreamingDriftMonitor(metrics=("hit_ratio",), history=8)
+        for sample in self.samples([0.8, 0.81, 0.79, 0.8] * 6):
+            assert monitor.observe(sample) == []
+        assert monitor.warmed_up()
+
+    def test_warmup_tracking(self):
+        from repro.analysis.drift import StreamingDriftMonitor
+
+        monitor = StreamingDriftMonitor(metrics=("hit_ratio",), history=8)
+        for sample in self.samples([0.8] * 7):
+            monitor.observe(sample)
+        assert not monitor.warmed_up()
+        monitor.observe(self.samples([0.8] * 9)[8])
+        assert monitor.warmed_up()
+
+    def test_ignores_foreign_sources_and_idle_windows(self):
+        from repro.analysis.drift import StreamingDriftMonitor
+
+        monitor = StreamingDriftMonitor(metrics=("hit_ratio",), history=8)
+        for sample in self.samples([0.9] * 12, source="sweep"):
+            assert monitor.observe(sample) == []
+        assert monitor.samples_seen == 0
+        # idle windows (no events) never feed the baseline either
+        warm = self.samples([0.8] * 12)
+        for sample in warm:
+            monitor.observe(sample)
+        idle = WindowSample(source="serve", index=99, events=0)
+        assert monitor.observe(idle) == []
+        # the zero-hit idle window did not register as a collapse
+        assert monitor.alerts == []
+
+    def test_detect_drift_serve_source(self):
+        alerts = detect_drift(
+            self.samples([0.8] * 12 + [0.05] * 4),
+            metrics=("hit_ratio",),
+            history=8,
+            threshold=4.0,
+            sources=("serve",),
+        )
+        assert alerts and alerts[0].metric == "hit_ratio"

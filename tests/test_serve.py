@@ -23,6 +23,7 @@ from repro.serve import (
     ScenarioError,
     ServeConnection,
     SlamError,
+    SlamReport,
     load_scenario,
     percentile,
     run_slam,
@@ -558,3 +559,524 @@ class TestCli:
         assert "events replayed" in out and "300" in out
         payload = json.loads((tmp_path / "report.json").read_text())
         assert payload["schema"] == wire.SLAM_SCHEMA
+
+# -- latency ring percentile edge cases --------------------------------------
+
+
+class TestLatencyRing:
+    def test_empty_ring_reports_zeros(self):
+        from repro.serve.server import LatencyRing
+
+        summary = LatencyRing().summary()
+        assert summary["count"] == 0 and summary["dropped"] == 0
+        assert summary["mean_ns"] == 0.0 and summary["window"] == 0
+        assert summary["p50_ns"] == summary["p95_ns"] == summary["p99_ns"] == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.serve.server import LatencyRing
+
+        ring = LatencyRing()
+        ring.observe(1234)
+        summary = ring.summary()
+        assert summary["count"] == 1 and summary["dropped"] == 0
+        assert summary["mean_ns"] == 1234.0
+        assert summary["p50_ns"] == summary["p95_ns"] == summary["p99_ns"] == 1234
+
+    def test_exactly_full_ring_has_no_drops(self):
+        from repro.serve.server import LatencyRing
+
+        ring = LatencyRing(maxlen=8)
+        for value in range(8):
+            ring.observe(value)
+        summary = ring.summary()
+        assert summary["count"] == 8 and summary["dropped"] == 0
+        assert summary["window"] == 8
+
+    def test_wrapped_ring_labels_window_honestly(self):
+        from repro.serve.server import LatencyRing
+
+        ring = LatencyRing(maxlen=4)
+        for value in (100, 200, 300, 400, 500, 600):
+            ring.observe(value)
+        summary = ring.summary()
+        # Cumulative count/mean stay exact over the whole lifetime...
+        assert summary["count"] == 6
+        assert summary["mean_ns"] == pytest.approx(2100 / 6)
+        # ...while percentiles honestly cover only the retained window.
+        assert summary["dropped"] == 2 and summary["window"] == 4
+        assert summary["p50_ns"] >= 300  # oldest two samples aged out
+        assert ring.window_values() == [300, 400, 500, 600]
+
+    def test_percentiles_track_window_not_lifetime(self):
+        from repro.serve.server import LatencyRing
+
+        ring = LatencyRing(maxlen=4)
+        for value in (1, 1, 1, 1, 1000, 1000, 1000, 1000):
+            ring.observe(value)
+        assert ring.summary()["p50_ns"] == 1000
+
+
+# -- per-endpoint telemetry --------------------------------------------------
+
+
+class TestEndpointTelemetry:
+    def test_per_endpoint_stats_and_statuses(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.request("POST", "/open", {"file": "f1"})
+            conn.request("POST", "/open", {"file": "f1"})
+            conn.request("POST", "/open", {"client": "x"}, expect_error=True)
+            conn.request(
+                "POST", "/invalidate", {"file": "nope"}, expect_error=True
+            )
+            stats = conn.stats()
+        endpoints = stats["endpoints"]
+        assert endpoints["open"]["requests"] == 3
+        assert endpoints["open"]["errors"] == 1
+        assert endpoints["open"]["statuses"] == {"200": 2, "400": 1}
+        assert endpoints["invalidate"]["statuses"] == {"404": 1}
+        assert endpoints["open"]["latency_ns"]["count"] == 3
+        # the combined legacy sections still add up
+        assert stats["errors"] == 2
+        assert stats["requests"]["/open"] == 3
+
+    def test_unknown_paths_fold_into_one_bucket(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            for index in range(5):
+                conn.request("GET", f"/scan{index}", expect_error=True)
+            stats = conn.stats()
+        assert stats["endpoints"]["_other"]["requests"] == 5
+        assert stats["endpoints"]["_other"]["errors"] == 5
+        assert set(stats["endpoints"]) <= {
+            "_other", "open", "fetch", "invalidate", "shutdown",
+            "stats", "metrics", "journal", "healthz",
+        }
+
+    def test_registry_mirrors_endpoint_counters(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.request("POST", "/open", {"file": "f1"})
+            conn.request("POST", "/open", {"client": "x"}, expect_error=True)
+            conn.stats()
+            registry = daemon.registry
+        assert registry.counter("serve.endpoint.open.status.200").value == 1
+        assert registry.counter("serve.endpoint.open.status.400").value == 1
+        assert registry.counter("serve.endpoint.open.errors").value == 1
+        assert (
+            registry.histogram("serve.endpoint.open.latency_ns").count == 2
+        )
+
+    def test_prometheus_exposes_per_endpoint_errors(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.request("POST", "/open", {"client": "x"}, expect_error=True)
+            _status, body = conn.request("GET", "/metrics")
+        text = body["text"]
+        assert "repro_serve_errors_open_total 1" in text
+        assert "repro_serve_telemetry_windows_total" in text
+
+
+# -- windowed telemetry ------------------------------------------------------
+
+
+class TestTelemetryWindows:
+    def test_event_windows_close_deterministically(self):
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0, telemetry_window_events=50
+        )
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            for low in range(0, 300, 25):
+                conn.fetch([f"f{i % 37}" for i in range(low, low + 25)])
+            stats = conn.stats()
+        telemetry = stats["telemetry"]
+        assert telemetry["schema"] == wire.TS_SCHEMA
+        assert telemetry["seq"] == 6
+        windows = telemetry["windows"]
+        assert [w["index"] for w in windows] == list(range(6))
+        assert all(w["source"] == "serve" for w in windows)
+        assert all(w["events"] == 50 for w in windows)
+
+    def test_window_sums_converge_to_lifetime_counters(self):
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0, telemetry_window_events=40
+        )
+        trace = list(make_workload("server", 500, 5).file_ids())
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            for low in range(0, len(trace), 20):
+                conn.fetch(trace[low : low + 20])
+            daemon.force_sample()  # flush the partial tail window
+            stats = conn.stats()
+        windows = stats["telemetry"]["windows"]
+        assert sum(w["hits"] for w in windows) == stats["cache"]["hits"]
+        assert sum(w["misses"] for w in windows) == stats["cache"]["misses"]
+        assert sum(w["events"] for w in windows) == stats["accesses"]
+
+    def test_since_cursor_filters_windows(self):
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0, telemetry_window_events=10
+        )
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            for low in range(0, 40, 10):
+                conn.fetch([f"f{i}" for i in range(low, low + 10)])
+            _status, full = conn.request("GET", "/stats")
+            _status, tail = conn.request("GET", "/stats?since=2")
+            status, bad = conn.request(
+                "GET", "/stats?since=banana", expect_error=True
+            )
+        assert [w["index"] for w in full["telemetry"]["windows"]] == [0, 1, 2, 3]
+        assert [w["index"] for w in tail["telemetry"]["windows"]] == [2, 3]
+        assert status == 400 and "since" in bad["error"]
+
+    def test_retention_ring_drops_and_counts(self):
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0,
+            telemetry_window_events=10,
+            telemetry_retain=3,
+        )
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            for low in range(0, 60, 10):
+                conn.fetch([f"f{i}" for i in range(low, low + 10)])
+            stats = conn.stats()
+        telemetry = stats["telemetry"]
+        assert telemetry["seq"] == 6
+        assert telemetry["retained"] == 3 and telemetry["dropped"] == 3
+        assert [w["index"] for w in telemetry["windows"]] == [3, 4, 5]
+
+    def test_observability_polls_do_not_emit_windows(self):
+        scenario = tiny_scenario(telemetry_window_seconds=0.0)
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            for _ in range(5):
+                conn.stats()
+            assert daemon.force_sample() is None  # only /stats traffic: skip
+            conn.fetch(["f1", "f2"])
+            sample = daemon.force_sample()
+            stats = conn.stats()
+        assert sample is not None and sample["events"] == 2
+        assert stats["telemetry"]["seq"] == 1
+
+    def test_timer_sampler_emits_under_load(self):
+        scenario = tiny_scenario(telemetry_window_seconds=0.05)
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                conn.fetch(["a", "b", "c"])
+                if conn.stats()["telemetry"]["seq"] >= 2:
+                    break
+            stats = conn.stats()
+        assert stats["telemetry"]["seq"] >= 2
+        windows = stats["telemetry"]["windows"]
+        assert all(w["seconds"] > 0 for w in windows)
+        assert "requests_per_sec" in windows[0]
+        assert "latency_ns" in windows[0]
+
+
+# -- structured access log ---------------------------------------------------
+
+
+class TestAccessLog:
+    def test_one_json_line_per_request(self, tmp_path):
+        log = tmp_path / "access.jsonl"
+        scenario = tiny_scenario()
+        with CacheDaemon(scenario, access_log=log) as daemon:
+            with ServeConnection(daemon.url) as conn:
+                conn.request("POST", "/open", {"file": "f1"})
+                conn.fetch(["f1", "f2", "f3"])
+                conn.request("GET", "/nope", expect_error=True)
+                stats = conn.stats()
+        lines = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(lines) == 4
+        by_endpoint = {record["endpoint"]: record for record in lines}
+        assert by_endpoint["/open"]["status"] == 200
+        assert by_endpoint["/open"]["events"] == 1
+        assert by_endpoint["/fetch"]["events"] == 3
+        assert by_endpoint["/nope"]["status"] == 404
+        ids = [record["id"] for record in lines]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        for record in lines:
+            assert record["latency_ns"] > 0 and record["ts"] > 0
+            assert record["method"] in ("GET", "POST")
+        # the /stats request logs itself only after building its payload
+        assert stats["access_log"]["lines"] == 3
+
+    def test_rotation_caps_file_size(self, tmp_path):
+        from repro.serve.server import AccessLog
+
+        log = AccessLog(tmp_path / "a.jsonl", max_bytes=300, backups=2)
+        for index in range(50):
+            log.write({"id": index, "endpoint": "/open", "pad": "x" * 40})
+        log.close()
+        assert log.rotations > 0
+        assert (tmp_path / "a.jsonl").stat().st_size <= 300
+        assert (tmp_path / "a.jsonl.1").exists()
+        # every surviving line is intact JSON
+        for name in ("a.jsonl", "a.jsonl.1", "a.jsonl.2"):
+            target = tmp_path / name
+            if target.exists():
+                for line in target.read_text().splitlines():
+                    json.loads(line)
+
+    def test_no_access_log_no_stats_section(self):
+        with CacheDaemon(tiny_scenario()) as daemon, ServeConnection(daemon.url) as conn:
+            conn.request("POST", "/open", {"file": "f1"})
+            stats = conn.stats()
+        assert "access_log" not in stats
+
+
+# -- live stats stream -------------------------------------------------------
+
+
+class TestStatsStream:
+    def test_incremental_polls_reassemble_series(self):
+        from repro.obs.live import StatsStream
+
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0, telemetry_window_events=20
+        )
+        with CacheDaemon(scenario) as daemon, ServeConnection(daemon.url) as conn:
+            stream = StatsStream(daemon.url)
+            for low in range(0, 40, 20):
+                conn.fetch([f"f{i}" for i in range(low, low + 20)])
+            first = stream.poll()
+            for low in range(0, 40, 20):
+                conn.fetch([f"g{i}" for i in range(low, low + 20)])
+            second = stream.poll()
+            third = stream.poll()
+            stream.close()
+        assert [w.index for w in first] == [0, 1]
+        assert [w.index for w in second] == [2, 3]
+        assert third == []
+        assert stream.cursor == 4 and stream.windows_seen == 4
+        assert first[0].sample.source == "serve"
+        assert first[0].requests > 0
+
+    def test_failure_counts_and_recovers(self):
+        from repro.obs.live import StatsStream
+
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0, telemetry_window_events=10
+        )
+        daemon = CacheDaemon(scenario).start()
+        dead = StatsStream("http://127.0.0.1:1", timeout=0.5)
+        assert dead.poll() == []
+        assert dead.failures == 1
+        with ServeConnection(daemon.url) as conn:
+            conn.fetch([f"f{i}" for i in range(10)])
+        live = StatsStream(daemon.url)
+        assert len(live.poll()) == 1
+        live.close()
+        daemon.close()
+
+    def test_restart_resets_cursor_and_replays_history(self):
+        from repro.obs.live import StatsStream
+
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.0, telemetry_window_events=10
+        )
+        daemon = CacheDaemon(scenario).start()
+        stream = StatsStream(daemon.url)
+        with ServeConnection(daemon.url) as conn:
+            for low in range(0, 50, 10):
+                conn.fetch([f"f{i}" for i in range(low, low + 10)])
+        assert len(stream.poll()) == 5
+        port = daemon.port
+        daemon.close()
+        stream.close()  # the old keep-alive died with the old process
+        reborn = CacheDaemon(scenario, port=port).start()
+        with ServeConnection(reborn.url) as conn:
+            for low in range(0, 20, 10):
+                conn.fetch([f"g{i}" for i in range(low, low + 10)])
+        windows = stream.poll()
+        reborn.close()
+        stream.close()
+        assert stream.restarts == 1
+        assert [w.index for w in windows] == [0, 1]
+        assert stream.cursor == 2
+
+    def test_final_stats_raises_on_dead_daemon(self):
+        from repro.obs.live import StatsStream
+
+        stream = StatsStream("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(SlamError):
+            stream.final_stats()
+
+
+# -- concurrent scrapes ------------------------------------------------------
+
+
+class TestConcurrentScrapes:
+    def test_stats_and_metrics_never_tear_under_slam(self):
+        """Threaded clients hammer /stats + /metrics while slam runs.
+
+        Every response must be complete valid JSON (or Prometheus text
+        ending in # EOF) and every telemetry seq must be monotonic per
+        scraper -- a torn snapshot or a backwards cursor fails.
+        """
+        import threading
+
+        scenario = tiny_scenario(
+            telemetry_window_seconds=0.05, telemetry_window_events=100
+        )
+        trace = list(make_workload("server", 2000, 5).file_ids())
+        problems = []
+        with CacheDaemon(scenario) as daemon:
+            stop = threading.Event()
+
+            def scrape_stats():
+                seen = -1
+                conn = ServeConnection(daemon.url, timeout=5.0)
+                try:
+                    while not stop.is_set():
+                        payload = conn.stats()  # validates schema + cache
+                        wire.validate_telemetry(payload)
+                        seq = payload["telemetry"]["seq"]
+                        if seq < seen:
+                            problems.append(f"seq went backwards: {seq} < {seen}")
+                        seen = seq
+                        for window in payload["telemetry"]["windows"]:
+                            if window["index"] >= seq:
+                                problems.append("window index beyond seq")
+                finally:
+                    conn.close()
+
+            def scrape_metrics():
+                conn = ServeConnection(daemon.url, timeout=5.0)
+                try:
+                    while not stop.is_set():
+                        _status, body = conn.request("GET", "/metrics")
+                        if not body["text"].rstrip().endswith("# EOF"):
+                            problems.append("torn /metrics body")
+                finally:
+                    conn.close()
+
+            scrapers = [
+                threading.Thread(target=scrape_stats, daemon=True),
+                threading.Thread(target=scrape_stats, daemon=True),
+                threading.Thread(target=scrape_metrics, daemon=True),
+            ]
+            for thread in scrapers:
+                thread.start()
+            try:
+                report = run_slam(daemon.url, trace, workers=2, batch=16)
+            finally:
+                stop.set()
+                for thread in scrapers:
+                    thread.join(timeout=10)
+            final = daemon.stats_payload()
+        assert problems == []
+        assert report.events == len(trace)
+        assert final["accesses"] == len(trace)
+
+    def test_metrics_server_concurrent_scrapes(self):
+        """MetricsServer serves many concurrent scrapers untorn."""
+        import threading
+        import urllib.request
+
+        payload = "x" * 20000 + "\n# EOF\n"
+        problems = []
+        with MetricsServer(lambda: payload) as server:
+
+            def scrape():
+                for _ in range(20):
+                    with urllib.request.urlopen(
+                        server.url, timeout=5
+                    ) as response:
+                        body = response.read().decode("utf-8")
+                    if body != payload:
+                        problems.append("torn MetricsServer body")
+
+            threads = [
+                threading.Thread(target=scrape, daemon=True) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert problems == []
+
+
+# -- slam endpoint-error reporting -------------------------------------------
+
+
+class TestSlamEndpointErrors:
+    def test_clean_run_brackets_out_prior_errors(self):
+        with CacheDaemon(tiny_scenario()) as daemon:
+            with ServeConnection(daemon.url) as conn:
+                # pre-existing errors must not leak into the run's delta
+                conn.request(
+                    "POST", "/invalidate", {"file": "nope"}, expect_error=True
+                )
+            report = run_slam(daemon.url, ["a", "b", "c"], workers=1, batch=2)
+        assert report.delta["server_errors"] == 0
+        assert report.delta["endpoint_errors"] == {}
+        assert report._server_error_cell() == "0"
+        rows = dict((row[0], row[1]) for row in report.rows()[1:])
+        assert rows["server errors (this run)"] == "0"
+
+    def test_errors_during_run_are_named_by_endpoint(self):
+        import threading
+
+        trace = list(make_workload("server", 3000, 5).file_ids())
+        with CacheDaemon(tiny_scenario()) as daemon:
+
+            def inject():
+                # wait until slam traffic is flowing, then 404 twice while
+                # the workers are still mid-run (inside the stats bracket)
+                deadline = time.monotonic() + 10
+                while daemon.accesses < 50 and time.monotonic() < deadline:
+                    time.sleep(0.001)
+                with ServeConnection(daemon.url) as conn:
+                    for name in ("gone", "gone2"):
+                        conn.request(
+                            "POST",
+                            "/invalidate",
+                            {"file": name},
+                            expect_error=True,
+                        )
+
+            saboteur = threading.Thread(target=inject, daemon=True)
+            saboteur.start()
+            report = run_slam(daemon.url, trace, workers=2, batch=8)
+            saboteur.join(10)
+        assert report.delta["server_errors"] == 2
+        assert report.delta["endpoint_errors"] == {"invalidate": 2}
+        assert report._server_error_cell() == "2 (invalidate 2)"
+
+    def test_endpoint_error_delta_helper(self):
+        from repro.serve.client import _endpoint_error_delta
+
+        before = {
+            "endpoints": {
+                "open": {"errors": 1},
+                "invalidate": {"errors": 0},
+            }
+        }
+        after = {
+            "endpoints": {
+                "open": {"errors": 3},
+                "invalidate": {"errors": 5},
+                "fetch": {"errors": 0},
+            }
+        }
+        assert _endpoint_error_delta(before, after) == {
+            "open": 2,
+            "invalidate": 5,
+        }
+        # pre-telemetry daemons have no endpoints section: empty, not a crash
+        assert _endpoint_error_delta({}, {}) == {}
+        assert _endpoint_error_delta({}, after) == {"open": 3, "invalidate": 5}
+
+    def test_server_error_cell_formats_breakdown(self):
+        report = SlamReport(url="http://x", workers=1, batch=1)
+        report.delta = {"server_errors": 0, "endpoint_errors": {}}
+        assert report._server_error_cell() == "0"
+        report.delta = {
+            "server_errors": 7,
+            "endpoint_errors": {"invalidate": 5, "open": 2},
+        }
+        assert report._server_error_cell() == "7 (invalidate 5, open 2)"
+        rows = dict((row[0], row[1]) for row in report.rows()[1:])
+        assert rows["server errors (this run)"] == "7 (invalidate 5, open 2)"
+
+    def test_report_json_carries_endpoint_errors(self, tmp_path):
+        with CacheDaemon(tiny_scenario()) as daemon:
+            report = run_slam(daemon.url, ["a", "b"], workers=1, batch=1)
+        payload = report.to_dict()
+        assert "server_errors" in payload["delta"]
+        assert "endpoint_errors" in payload["delta"]
