@@ -6,7 +6,7 @@
 BENCH_JSON ?= BENCH_micro.json
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke serve-smoke live-obs-smoke charts examples report csv all clean
+.PHONY: install lint test bench bench-smoke bench-check trace-smoke ts-smoke serve-smoke live-obs-smoke spans-smoke charts examples report csv all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -81,6 +81,14 @@ serve-smoke:
 live-obs-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/check_live_obs.py scenarios/smoke.json \
 		--events 6000 --workers 2
+
+# Request-tracing smoke: traced slam against a traced daemon, then
+# assert every client span pairs with a server span of the same trace
+# id, the cache.fetch annotations reconcile exactly with /stats, and
+# the `repro spans` merger emits a valid multi-process Chrome trace.
+spans-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/check_spans.py scenarios/smoke.json \
+		--events 4000 --workers 2
 
 charts:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Tracing smoke: a traced slam run must produce a correlated timeline.
+
+The CI ``spans-smoke`` leg (also ``make spans-smoke``)::
+
+    PYTHONPATH=src python scripts/check_spans.py scenarios/smoke.json
+
+* starts ``python -m repro serve <scenario> --spans <tmp>/server.jsonl``
+  as a subprocess and waits for the bound port;
+* slams it with the scenario's workload at ``--span-sample 1`` so every
+  request carries an ``X-Repro-Trace`` header, writing one client span
+  log per worker;
+* sends SIGTERM, asserts a clean exit, and loads both sides' span logs;
+* asserts the Dapper contract end to end:
+
+  - every client span pairs with a server span of the same trace id
+    whose parent is the client span id (no orphans either way among
+    traced requests);
+  - the client span count equals the slam report's request count
+    (when no retries happened);
+  - the ``cache.fetch`` child-span annotations, summed, reconcile
+    exactly with the daemon's ``/stats`` lifetime hit/miss counters;
+  - server-side root spans cover every request the daemon logged;
+
+* runs the ``repro spans`` merger CLI over the same files and checks
+  the exported Chrome trace is valid JSON with one named process track
+  per participating process.
+
+``--artifacts DIR`` copies the span logs and merged Chrome trace there
+for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # runnable without PYTHONPATH too
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.obs.spans import (  # noqa: E402
+    load_spans_jsonl,
+    merge_spans,
+)
+from repro.serve import ServeConnection, load_scenario, run_slam  # noqa: E402
+from repro.workloads.synthetic import make_workload  # noqa: E402
+
+PORT_WAIT_S = 20.0
+EXIT_WAIT_S = 10.0
+
+
+def _fail(message: str) -> "SystemExit":
+    print(f"FAIL: {message}")
+    return SystemExit(1)
+
+
+def _wait_for_port(port_file: Path, process: subprocess.Popen) -> int:
+    deadline = time.monotonic() + PORT_WAIT_S
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise _fail(
+                f"daemon exited early with code {process.returncode} "
+                f"before announcing a port"
+            )
+        try:
+            text = port_file.read_text(encoding="utf-8").strip()
+        except OSError:
+            text = ""
+        if text:
+            return int(text)
+        time.sleep(0.05)
+    raise _fail(f"daemon did not announce a port within {PORT_WAIT_S:.0f}s")
+
+
+def _check_pairing(merged, report) -> None:
+    if merged["client_only"]:
+        raise _fail(
+            f"{merged['client_only']} client span(s) found no server span "
+            "with the same trace id — header propagation is broken"
+        )
+    for trace in merged["traces"]:
+        client, server = trace["client"], trace["server"]
+        if client is None:
+            continue
+        if server is None or not trace["paired"]:
+            raise _fail(
+                f"trace {trace['trace']} has a client span but no paired "
+                "server span (server parent must equal the client span id)"
+            )
+        if server["parent"] != client["span"]:
+            raise _fail(
+                f"trace {trace['trace']}: server parent {server['parent']!r} "
+                f"!= client span id {client['span']!r}"
+            )
+    if report.retries == 0 and merged["paired"] != report.requests:
+        raise _fail(
+            f"{merged['paired']} paired trace(s) but the slam report counted "
+            f"{report.requests} request(s) with no retries"
+        )
+    print(
+        f"pairing OK: {merged['paired']} paired trace(s), "
+        f"{merged['server_only']} server-only (untraced endpoints)"
+    )
+
+
+def _check_cache_reconciliation(server_spans, stats) -> None:
+    hits = misses = group_fetches = 0
+    for span in server_spans:
+        if span["name"] != "cache.fetch" and span["name"] != "cache.open":
+            continue
+        notes = span["annotations"]
+        hits += int(notes.get("hits", 1 if notes.get("hit") else 0))
+        if span["name"] == "cache.fetch":
+            misses += int(notes.get("misses", 0))
+        else:
+            misses += 0 if notes.get("hit") else 1
+        group_fetches += int(notes.get("group_fetches", 0))
+    cache = stats["cache"]
+    for name, from_spans in (
+        ("hits", hits),
+        ("misses", misses),
+        ("group_fetches", group_fetches),
+    ):
+        served = int(cache[name])
+        if from_spans != served:
+            raise _fail(
+                f"cache.{name} from span annotations is {from_spans} but the "
+                f"daemon's /stats lifetime counter says {served}"
+            )
+    print(
+        f"reconciliation OK: span annotations sum to hits={hits} "
+        f"misses={misses} group_fetches={group_fetches}, matching /stats"
+    )
+
+
+def _check_chrome(path: Path) -> None:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise _fail(f"{path} has no traceEvents")
+    names = {
+        event["args"]["name"]
+        for event in events
+        if event.get("ph") == "M" and event.get("name") == "process_name"
+    }
+    if len(names) < 2:
+        raise _fail(
+            f"Chrome trace names only {sorted(names)} — expected at least "
+            "one slam worker and the daemon as separate process tracks"
+        )
+    spans = [event for event in events if event.get("ph") == "X"]
+    for event in spans:
+        for field in ("name", "pid", "tid", "ts", "dur"):
+            if field not in event:
+                raise _fail(f"Chrome span event is missing {field!r}: {event}")
+    print(
+        f"Chrome trace OK: {len(spans)} span event(s) across process "
+        f"tracks {sorted(names)}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", type=Path, help="scenario file to serve")
+    parser.add_argument("--events", type=int, default=4000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        help="copy span logs and the merged Chrome trace here (CI upload)",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    seed = scenario.seed if scenario.seed is not None else 0
+    source = list(make_workload(scenario.workload, args.events, seed).file_ids())
+
+    with tempfile.TemporaryDirectory(prefix="repro-spans-") as tmp:
+        tmp_path = Path(tmp)
+        port_file = tmp_path / "port"
+        server_log = tmp_path / "server-spans.jsonl"
+        client_dir = tmp_path / "client"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(args.scenario),
+                "--port", "0", "--port-file", str(port_file),
+                "--spans", str(server_log),
+            ],
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            port = _wait_for_port(port_file, process)
+            url = f"http://127.0.0.1:{port}"
+            print(f"daemon pid {process.pid} listening on {url}, tracing on")
+            report = run_slam(
+                url, source, workers=args.workers, batch=args.batch,
+                span_dir=client_dir, span_sample=1,
+            )
+            if report.errors:
+                raise _fail(f"slam reported {report.errors} request error(s)")
+            conn = ServeConnection(url)
+            try:
+                stats = conn.stats()
+            finally:
+                conn.close()
+            span_stats = stats.get("spans")
+            if not span_stats or span_stats.get("schema") != "repro.span/1":
+                raise _fail(f"/stats has no spans section: {span_stats!r}")
+            if span_stats["dropped"]:
+                raise _fail(
+                    f"daemon dropped {span_stats['dropped']} span(s); raise "
+                    "--span-capacity for this smoke"
+                )
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        try:
+            exit_code = process.wait(timeout=EXIT_WAIT_S)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+            raise _fail(f"daemon ignored SIGTERM for {EXIT_WAIT_S:.0f}s")
+        if exit_code != 0:
+            raise _fail(f"daemon exited with code {exit_code} after SIGTERM")
+        if not server_log.exists():
+            raise _fail(f"daemon exited without writing {server_log}")
+
+        client_files = sorted(client_dir.glob("spans-worker*.jsonl"))
+        if len(client_files) != args.workers:
+            raise _fail(
+                f"expected {args.workers} client span log(s), "
+                f"found {len(client_files)}"
+            )
+        client_spans = []
+        for path in client_files:
+            client_spans.extend(load_spans_jsonl(path)["spans"])
+        loaded = load_spans_jsonl(server_log)
+        server_spans = loaded["spans"]
+        print(
+            f"loaded {len(client_spans)} client span(s), "
+            f"{len(server_spans)} server span(s) "
+            f"(server buffer: {loaded['meta']['started']} started, "
+            f"{loaded['meta']['dropped']} dropped)"
+        )
+
+        merged = merge_spans(client_spans, server_spans)
+        _check_pairing(merged, report)
+        _check_cache_reconciliation(server_spans, stats)
+
+        chrome_out = tmp_path / "merged-trace.json"
+        cli = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "spans",
+                "--client", *[str(path) for path in client_files],
+                "--server", str(server_log),
+                "--chrome", str(chrome_out),
+                "--top", "3",
+            ],
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        if cli.returncode != 0:
+            raise _fail(f"repro spans exited with code {cli.returncode}")
+        _check_chrome(chrome_out)
+
+        if args.artifacts is not None:
+            args.artifacts.mkdir(parents=True, exist_ok=True)
+            for path in [server_log, chrome_out, *client_files]:
+                shutil.copy2(path, args.artifacts / path.name)
+            print(f"copied artifacts to {args.artifacts}")
+
+        print(
+            f"OK: {report.events} events traced end to end, "
+            f"{merged['paired']} correlated trace(s), "
+            f"p99 {report.p99_ms:.3f}ms"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ is usable standalone::
     repro generate / inspect / anonymize  # trace tooling
     repro serve scenarios/smoke.json      # aggregating-cache daemon (HTTP API)
     repro slam --url http://host:port     # multi-process load driver
+    repro spans --client s-*.jsonl --server spans.jsonl  # trace merge
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .analysis.ascii_chart import render_figure
 from .analysis.export import figure_to_csv, rows_to_markdown
@@ -1347,6 +1348,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         access_log_max_bytes=args.access_log_max_bytes,
         window_seconds=args.stats_window,
         window_events=args.stats_window_events,
+        span_log=args.spans,
+        span_capacity=args.span_capacity,
+        span_sample=args.span_sample,
     )
     return daemon.run(port_file=args.port_file)
 
@@ -1397,12 +1401,126 @@ def _cmd_slam(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch=args.batch,
         timeout=args.timeout,
+        span_dir=args.spans,
+        span_sample=args.span_sample,
+        span_capacity=args.span_capacity,
     )
     print()
     print(rows_to_markdown(report.rows()))
     if args.report is not None:
         write_report(report, args.report)
         print(f"\nwrote repro.slam/1 report to {args.report}")
+    if args.spans is not None:
+        spans = report.spans or {}
+        print(
+            f"\nwrote {spans.get('client_spans', 0)} client span(s) to "
+            f"{spans.get('files', 0)} repro.span/1 file(s) under {args.spans}"
+        )
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    """Merge client and server span logs into one request timeline.
+
+    Aligns ``repro.span/1`` JSONL exports from slam workers
+    (``--client``, repeatable/globbable) and the daemon (``--server``)
+    on trace id, prints the pairing summary, a per-endpoint latency
+    breakdown (client-observed vs server-measured, the network+queue
+    delta between them, and where server time went), and span trees for
+    the slowest traces.  ``--chrome`` additionally writes the merged
+    timeline as Chrome trace-event JSON — one Perfetto process track
+    per slam worker plus one for the daemon.
+    """
+    from .obs.spans import (
+        endpoint_breakdown,
+        format_span_tree,
+        load_spans_jsonl,
+        merge_spans,
+        slowest_traces,
+        write_spans_chrome_trace,
+    )
+
+    client_spans: List[Dict[str, Any]] = []
+    client_meta: List[Dict[str, Any]] = []
+    for path in args.client:
+        loaded = load_spans_jsonl(path)
+        client_spans.extend(loaded["spans"])
+        client_meta.append(loaded["meta"])
+    server_spans: List[Dict[str, Any]] = []
+    server_meta: List[Dict[str, Any]] = []
+    for path in args.server:
+        loaded = load_spans_jsonl(path)
+        server_spans.extend(loaded["spans"])
+        server_meta.append(loaded["meta"])
+
+    merged = merge_spans(client_spans, server_spans)
+    print(
+        f"loaded {len(client_spans)} client span(s) from "
+        f"{len(args.client)} file(s), {len(server_spans)} server span(s) "
+        f"from {len(args.server)} file(s)"
+    )
+    print(
+        f"traces: {merged['paired']} paired, "
+        f"{merged['client_only']} client-only, "
+        f"{merged['server_only']} server-only"
+    )
+    dropped = sum(int(meta.get("dropped", 0)) for meta in client_meta + server_meta)
+    if dropped:
+        print(f"warning: {dropped} span(s) were dropped at capture (ring full)")
+
+    rows = endpoint_breakdown(merged)
+    if rows:
+        table = [
+            [
+                "endpoint",
+                "requests",
+                "paired",
+                "client p50/p99 (ms)",
+                "server p50/p99 (ms)",
+                "net+queue p50/p99 (ms)",
+                "lock",
+                "cache",
+                "journal",
+                "write",
+            ]
+        ]
+        for row in rows:
+            table.append(
+                [
+                    row["endpoint"],
+                    str(row["requests"]),
+                    str(row["paired"]),
+                    f"{row['client_p50_ms']:.3f} / {row['client_p99_ms']:.3f}",
+                    f"{row['server_p50_ms']:.3f} / {row['server_p99_ms']:.3f}",
+                    f"{row['net_queue_p50_ms']:.3f} / {row['net_queue_p99_ms']:.3f}",
+                    f"{row['lock_share'] * 100:.1f}%",
+                    f"{row['cache_share'] * 100:.1f}%",
+                    f"{row['journal_share'] * 100:.1f}%",
+                    f"{row['write_share'] * 100:.1f}%",
+                ]
+            )
+        print()
+        print(rows_to_markdown(table))
+
+    slowest = slowest_traces(merged, top=args.top)
+    if slowest:
+        print(f"\nslowest {len(slowest)} trace(s):")
+        for trace in slowest:
+            print()
+            for line in format_span_tree(trace):
+                print(f"  {line}")
+
+    if args.chrome is not None:
+        spans = client_spans + server_spans
+        count = write_spans_chrome_trace(
+            spans,
+            args.chrome,
+            meta={"paired": merged["paired"], "source": "repro spans"},
+        )
+        print(
+            f"\nwrote {count} Chrome trace event(s) to {args.chrome} "
+            "(open in Perfetto / chrome://tracing)"
+        )
     return 0
 
 
@@ -1956,6 +2074,30 @@ def build_parser() -> argparse.ArgumentParser:
             "(overrides the scenario; 0 = timer only)"
         ),
     )
+    serve.add_argument(
+        "--spans",
+        type=Path,
+        default=None,
+        help=(
+            "enable request tracing and write repro.span/1 JSONL here "
+            "on exit (off by default; zero cost when off)"
+        ),
+    )
+    serve.add_argument(
+        "--span-capacity",
+        type=int,
+        default=65536,
+        help="retain at most this many spans (ring; default: 65536)",
+    )
+    serve.add_argument(
+        "--span-sample",
+        type=int,
+        default=1,
+        help=(
+            "self-sample 1-in-N headerless requests (requests carrying "
+            "X-Repro-Trace are always traced; default: 1 = all)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     slam = subparsers.add_parser(
@@ -2012,7 +2154,63 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the latency report as repro.slam/1 JSON",
     )
+    slam.add_argument(
+        "--spans",
+        type=Path,
+        default=None,
+        help=(
+            "trace requests: write one repro.span/1 JSONL per worker "
+            "into this directory and send X-Repro-Trace headers"
+        ),
+    )
+    slam.add_argument(
+        "--span-sample",
+        type=int,
+        default=1,
+        help="trace 1-in-N requests per worker (default: 1 = all)",
+    )
+    slam.add_argument(
+        "--span-capacity",
+        type=int,
+        default=None,
+        help="per-worker span ring capacity (default: 65536)",
+    )
     slam.set_defaults(handler=_cmd_slam)
+
+    spans_cmd = subparsers.add_parser(
+        "spans",
+        help=(
+            "merge client and server repro.span/1 logs into one "
+            "correlated timeline; latency breakdown + Chrome trace"
+        ),
+    )
+    spans_cmd.add_argument(
+        "--client",
+        type=Path,
+        nargs="+",
+        required=True,
+        help="slam worker span logs (spans-worker*.jsonl)",
+    )
+    spans_cmd.add_argument(
+        "--server",
+        type=Path,
+        nargs="+",
+        required=True,
+        help="daemon span log(s) (the serve --spans file)",
+    )
+    spans_cmd.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        help="also write the merged timeline as Chrome trace-event JSON",
+    )
+    spans_cmd.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="show span trees for the N slowest traces (default: 5)",
+    )
+    spans_cmd.set_defaults(handler=_cmd_spans)
 
     trace_cmd = subparsers.add_parser(
         "trace", help="columnar binary trace tooling (pack / info)"

@@ -43,6 +43,7 @@ from .export import (
     write_jsonl,
 )
 from .live import DEFAULT_POLL_SECONDS, LiveWindow, StatsStream
+from .quantiles import latency_summary_ns, percentile
 from .registry import (
     DEFAULT_BOUNDS,
     Counter,
@@ -72,22 +73,68 @@ from .timeseries import (
     windowing,
     write_ts_jsonl,
 )
+from .spans import (
+    NULL_SPAN,
+    SPAN_SCHEMA,
+    TRACE_HEADER,
+    Span,
+    SpanBuffer,
+    endpoint_breakdown,
+    format_header,
+    format_span_tree,
+    load_spans_jsonl,
+    maybe_span,
+    merge_spans,
+    parse_header,
+    set_buffer,
+    slowest_traces,
+    span_collection,
+    span_records,
+    spans_chrome_trace,
+    write_spans_chrome_trace,
+    write_spans_jsonl,
+)
 from .tracing import (
     TRACE_SCHEMA,
     FlightRecorder,
+    chrome_payload,
     chrome_trace,
     load_trace_jsonl,
     recording,
     set_recorder,
     trace_records,
+    write_chrome_json,
     write_chrome_trace,
     write_trace_jsonl,
 )
 
 __all__ = [
     "SCHEMA",
+    "SPAN_SCHEMA",
+    "TRACE_HEADER",
     "TRACE_SCHEMA",
     "TS_SCHEMA",
+    "NULL_SPAN",
+    "Span",
+    "SpanBuffer",
+    "endpoint_breakdown",
+    "format_header",
+    "format_span_tree",
+    "latency_summary_ns",
+    "load_spans_jsonl",
+    "maybe_span",
+    "merge_spans",
+    "parse_header",
+    "percentile",
+    "set_buffer",
+    "slowest_traces",
+    "span_collection",
+    "span_records",
+    "spans_chrome_trace",
+    "write_spans_chrome_trace",
+    "write_spans_jsonl",
+    "chrome_payload",
+    "write_chrome_json",
     "DEFAULT_POLL_SECONDS",
     "LiveWindow",
     "StatsStream",

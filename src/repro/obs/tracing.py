@@ -652,6 +652,34 @@ def load_trace_jsonl(path: Pathish) -> Dict[str, Any]:
     return {"meta": meta, "records": records}
 
 
+def chrome_payload(
+    events: Sequence[Dict[str, Any]],
+    other: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Wrap trace events in the Chrome trace-event JSON envelope.
+
+    The shared writer behind both the flight recorder's export and
+    the span analyzer's multi-process timeline
+    (:func:`repro.obs.spans.spans_chrome_trace`): one envelope shape
+    means anything the repository emits loads in ``about:tracing`` and
+    Perfetto the same way.
+    """
+    return {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": dict(other or {}),
+    }
+
+
+def write_chrome_json(payload: Dict[str, Any], path: Pathish) -> int:
+    """Write a Chrome trace-event payload; returns the event count."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload), encoding="utf-8")
+    return len(payload["traceEvents"])
+
+
 def chrome_trace(
     recorder: FlightRecorder, meta: Optional[Dict[str, Any]] = None
 ) -> Dict[str, Any]:
@@ -694,14 +722,10 @@ def chrome_trace(
                 },
             }
         )
-    payload: Dict[str, Any] = {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {"schema": TRACE_SCHEMA},
-    }
+    other: Dict[str, Any] = {"schema": TRACE_SCHEMA}
     if meta:
-        payload["otherData"].update(meta)
-    return payload
+        other.update(meta)
+    return chrome_payload(events, other)
 
 
 def write_chrome_trace(
@@ -710,9 +734,4 @@ def write_chrome_trace(
     meta: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write the Chrome trace-event export; returns the event count."""
-    payload = chrome_trace(recorder, meta)
-    target = Path(path)
-    if target.parent and not target.parent.exists():
-        target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(payload), encoding="utf-8")
-    return len(payload["traceEvents"])
+    return write_chrome_json(chrome_trace(recorder, meta), path)

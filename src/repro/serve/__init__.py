@@ -46,7 +46,7 @@ from .client import (
     run_slam,
 )
 from .scenario import Scenario, ScenarioError, load_scenario
-from .schema import SERVE_SCHEMA, WireError
+from .schema import SERVE_SCHEMA, SPAN_SCHEMA, TRACE_HEADER, WireError
 from .server import CacheDaemon, serve_scenario
 
 __all__ = [
@@ -55,8 +55,10 @@ __all__ = [
     "ScenarioError",
     "ServeConnection",
     "SERVE_SCHEMA",
+    "SPAN_SCHEMA",
     "SlamError",
     "SlamReport",
+    "TRACE_HEADER",
     "WireError",
     "load_scenario",
     "percentile",

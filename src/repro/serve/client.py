@@ -44,7 +44,20 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import urlsplit
 
 from ..errors import ReproError
+from ..obs.quantiles import percentile
 from . import schema as wire
+
+__all__ = [
+    "MAX_SAMPLES_PER_WORKER",
+    "RETRYABLE",
+    "ServeConnection",
+    "SlamError",
+    "SlamReport",
+    "make_shards",
+    "percentile",
+    "run_slam",
+    "write_report",
+]
 
 #: Exceptions worth one reconnect-and-retry: the connection died under
 #: us (server listener churn, keep-alive timeout, transient RST).
@@ -66,25 +79,10 @@ class SlamError(ReproError):
     """The load run could not complete (connection, protocol, worker)."""
 
 
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile of an ascending sequence.
-
-    ``q`` in [0, 1].  Returns 0.0 for an empty sequence — slam reports
-    render percentiles unconditionally and an empty run reads as zeros.
-    """
-    if not sorted_values:
-        return 0.0
-    if not 0.0 <= q <= 1.0:
-        raise SlamError(f"percentile q must be in [0, 1], got {q}")
-    if len(sorted_values) == 1:
-        return float(sorted_values[0])
-    position = q * (len(sorted_values) - 1)
-    low = int(position)
-    high = min(low + 1, len(sorted_values) - 1)
-    fraction = position - low
-    return float(
-        sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
-    )
+# ``percentile`` lives in :mod:`repro.obs.quantiles` (re-exported here
+# for compatibility): the daemon's LatencyRing, the windowed telemetry,
+# and this report all interpolate identically, so a client p99 and a
+# server p99 are directly comparable.
 
 
 def _parse_url(url: str) -> Tuple[str, int]:
@@ -133,10 +131,18 @@ class ServeConnection:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _once(self, method: str, path: str, body: Optional[bytes]) -> Tuple[int, bytes]:
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
         conn = self._connection()
-        headers = {"Content-Type": "application/json"} if body else {}
-        conn.request(method, path, body=body, headers=headers)
+        sent = {"Content-Type": "application/json"} if body else {}
+        if headers:
+            sent.update(headers)
+        conn.request(method, path, body=body, headers=sent)
         response = conn.getresponse()
         payload = response.read()
         return response.status, payload
@@ -147,18 +153,20 @@ class ServeConnection:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         expect_error: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """One JSON call; returns ``(status, decoded body)``.
 
         Non-2xx statuses raise unless ``expect_error`` (tests poke the
         4xx paths deliberately); the structured error body is folded
-        into the exception message either way.
+        into the exception message either way.  ``headers`` adds extra
+        request headers (the tracing ``X-Repro-Trace`` propagation).
         """
         body = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
         try:
-            status, raw = self._once(method, path, body)
+            status, raw = self._once(method, path, body, headers)
         except RETRYABLE:
             # One reconnect, one retry: /open and /fetch are idempotent
             # enough for load purposes (a duplicated event is a counted,
@@ -168,7 +176,7 @@ class ServeConnection:
             self.retries += 1
             time.sleep(0.05)
             try:
-                status, raw = self._once(method, path, body)
+                status, raw = self._once(method, path, body, headers)
             except (OSError, http.client.HTTPException) as error:
                 raise SlamError(
                     f"{method} {path} failed after retry: {error!r}"
@@ -192,11 +200,16 @@ class ServeConnection:
             )
         return status, decoded
 
-    def fetch(self, files: Sequence[str], client: str = "") -> Dict[str, Any]:
+    def fetch(
+        self,
+        files: Sequence[str],
+        client: str = "",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"files": list(files)}
         if client:
             payload["client"] = client
-        _status, body = self.request("POST", "/fetch", payload)
+        _status, body = self.request("POST", "/fetch", payload, headers=headers)
         return body
 
     def stats(self) -> Dict[str, Any]:
@@ -276,17 +289,51 @@ def _slam_worker(
     batch: int,
     timeout: float,
     client_name: str,
+    span_log: Optional[str] = None,
+    span_sample: int = 1,
+    span_capacity: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Replay one shard; returns this worker's counters and samples."""
+    """Replay one shard; returns this worker's counters and samples.
+
+    With ``span_log`` set the worker mints a trace id per sampled
+    request, propagates it in the ``X-Repro-Trace`` header so the
+    daemon's server span joins the trace, records a matching client
+    span around the whole round trip, and writes the buffer to
+    ``span_log`` as ``repro.span/1`` JSONL on the way out (even after
+    a failure — a partial trace still merges).
+    """
     latencies: List[int] = []
     events = requests = hits = errors = 0
+    buffer = None
+    if span_log:
+        from ..obs import spans as spans_mod
+
+        buffer = spans_mod.SpanBuffer(
+            process=client_name,
+            capacity=span_capacity or spans_mod.DEFAULT_CAPACITY,
+            sample=span_sample,
+        )
     connection = ServeConnection(url, timeout=timeout)
     started = time.perf_counter()
     try:
         for files in _shard_batches(shard, batch):
+            span = headers = None
+            if buffer is not None and buffer.should_sample():
+                span = buffer.start_span("client /fetch", kind="client")
+                headers = {
+                    spans_mod.TRACE_HEADER: spans_mod.format_header(
+                        span.trace, span.span
+                    )
+                }
             began = time.perf_counter_ns()
-            body = connection.fetch(files, client=client_name)
+            body = connection.fetch(files, client=client_name, headers=headers)
             elapsed = time.perf_counter_ns() - began
+            if span is not None:
+                span.finish()
+                span.annotate("endpoint", "/fetch")
+                span.annotate("events", len(files))
+                span.annotate("hits", int(body.get("hits", 0)))
+                span.annotate("request", requests)
             if len(latencies) < MAX_SAMPLES_PER_WORKER:
                 latencies.append(elapsed)
             requests += 1
@@ -299,7 +346,7 @@ def _slam_worker(
         failure = ""
     finally:
         connection.close()
-    return {
+    result = {
         "client": client_name,
         "events": events,
         "requests": requests,
@@ -311,6 +358,13 @@ def _slam_worker(
         "seconds": time.perf_counter() - started,
         "latencies_ns": latencies,
     }
+    if buffer is not None:
+        spans_mod.write_spans_jsonl(
+            buffer, span_log, meta={"role": "client", "url": url}
+        )
+        result["span_log"] = span_log
+        result["spans"] = buffer.summary()
+    return result
 
 
 def _worker_entry(queue, kwargs) -> None:  # pragma: no cover - child process
@@ -352,6 +406,8 @@ class SlamReport:
     p95_ms: float = 0.0
     p99_ms: float = 0.0
     mean_ms: float = 0.0
+    worker_latency: List[Dict[str, Any]] = field(default_factory=list)
+    spans: Dict[str, Any] = field(default_factory=dict)
     server: Dict[str, Any] = field(default_factory=dict)
     delta: Dict[str, Any] = field(default_factory=dict)
 
@@ -368,6 +424,24 @@ class SlamReport:
         """Hit ratio of the traffic *this run* pushed (from /stats deltas)."""
         accesses = self.delta.get("hits", 0) + self.delta.get("misses", 0)
         return self.delta.get("hits", 0) / accesses if accesses else 0.0
+
+    @property
+    def worker_p99_spread_ms(self) -> Dict[str, float]:
+        """min/median/max of the per-worker p99s (straggler visibility).
+
+        The merged p99 averages workers together; a single straggler
+        worker (bad core, contended socket) vanishes into it.  The
+        spread makes that worker visible: a max far above the median
+        is one slow client, not a slow server.
+        """
+        values = sorted(w["p99_ms"] for w in self.worker_latency)
+        if not values:
+            return {"min": 0.0, "median": 0.0, "max": 0.0}
+        return {
+            "min": values[0],
+            "median": percentile(values, 0.50),
+            "max": values[-1],
+        }
 
     def to_dict(self) -> Dict[str, Any]:
         return wire.slam_report_payload(
@@ -391,6 +465,11 @@ class SlamReport:
                     "p99": self.p99_ms,
                     "mean": self.mean_ms,
                 },
+                "workers_latency": {
+                    "per_worker": self.worker_latency,
+                    "p99_spread_ms": self.worker_p99_spread_ms,
+                },
+                "spans": self.spans,
                 "served_hit_ratio": self.served_hit_ratio,
                 "server": self.server,
                 "delta": self.delta,
@@ -421,6 +500,7 @@ class SlamReport:
     def rows(self) -> List[List[str]]:
         """Render-ready table rows (the CLI prints these as markdown)."""
         server_cache = self.server.get("cache", {})
+        spread = self.worker_p99_spread_ms
         return [
             ["metric", "value"],
             ["events replayed", f"{self.events:,}"],
@@ -432,6 +512,11 @@ class SlamReport:
             ["latency p50", f"{self.p50_ms:.2f} ms"],
             ["latency p95", f"{self.p95_ms:.2f} ms"],
             ["latency p99", f"{self.p99_ms:.2f} ms"],
+            [
+                "worker p99 min/med/max",
+                f"{spread['min']:.2f} / {spread['median']:.2f} / "
+                f"{spread['max']:.2f} ms",
+            ],
             ["retries", str(self.retries)],
             ["errors", str(self.errors)],
             ["server errors (this run)", self._server_error_cell()],
@@ -484,6 +569,9 @@ def run_slam(
     batch: int = 16,
     timeout: float = 30.0,
     raise_on_error: bool = True,
+    span_dir: Optional[Union[str, Path]] = None,
+    span_sample: int = 1,
+    span_capacity: Optional[int] = None,
 ) -> SlamReport:
     """Slam a daemon with a trace from N worker processes.
 
@@ -493,12 +581,26 @@ def run_slam(
     run's traffic even against a warm daemon.  Worker failures raise
     :class:`SlamError` unless ``raise_on_error=False`` (the report then
     carries the failure strings).
+
+    ``span_dir`` turns on request tracing: each worker writes its
+    client spans to ``<span_dir>/spans-<worker>.jsonl`` and propagates
+    trace ids to the daemon via ``X-Repro-Trace`` (every
+    ``span_sample``-th request, deterministically); merge them against
+    the daemon's span export with ``repro spans``.
     """
     if batch < 1:
         raise SlamError(f"batch must be >= 1, got {batch}")
     shards = make_shards(source, workers)
     if not shards:
         raise SlamError("the trace source produced no events to replay")
+    span_logs: List[str] = []
+    if span_dir is not None:
+        base = Path(span_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        span_logs = [
+            str(base / f"spans-worker{index:02d}.jsonl")
+            for index in range(len(shards))
+        ]
     probe = ServeConnection(url, timeout=timeout)
     try:
         before = probe.stats()
@@ -509,7 +611,16 @@ def run_slam(
     results: List[Dict[str, Any]] = []
     if len(shards) == 1:
         results.append(
-            _slam_worker(url, shards[0], batch, timeout, "worker00")
+            _slam_worker(
+                url,
+                shards[0],
+                batch,
+                timeout,
+                "worker00",
+                span_log=span_logs[0] if span_logs else None,
+                span_sample=span_sample,
+                span_capacity=span_capacity,
+            )
         )
     else:
         queue: multiprocessing.Queue = multiprocessing.Queue()
@@ -521,6 +632,9 @@ def run_slam(
                 "batch": batch,
                 "timeout": timeout,
                 "client_name": f"worker{index:02d}",
+                "span_log": span_logs[index] if span_logs else None,
+                "span_sample": span_sample,
+                "span_capacity": span_capacity,
             }
             process = multiprocessing.Process(
                 target=_worker_entry, args=(queue, kwargs), daemon=True
@@ -544,6 +658,30 @@ def run_slam(
     latencies = sorted(
         ns for result in results for ns in result["latencies_ns"]
     )
+    worker_latency = []
+    for result in sorted(results, key=lambda r: r["client"]):
+        samples = sorted(result["latencies_ns"])
+        worker_latency.append(
+            {
+                "client": result["client"],
+                "requests": result["requests"],
+                "p50_ms": percentile(samples, 0.50) / 1e6,
+                "p99_ms": percentile(samples, 0.99) / 1e6,
+            }
+        )
+    spans_section: Dict[str, Any] = {}
+    if span_logs:
+        spans_section = {
+            "dir": str(span_dir),
+            "sample": span_sample,
+            "files": [r["span_log"] for r in results if r.get("span_log")],
+            "client_spans": sum(
+                r["spans"]["started"] for r in results if r.get("spans")
+            ),
+            "sampled_out": sum(
+                r["spans"]["sampled_out"] for r in results if r.get("spans")
+            ),
+        }
     report = SlamReport(
         url=url,
         workers=len(shards),
@@ -560,6 +698,8 @@ def run_slam(
         p95_ms=percentile(latencies, 0.95) / 1e6,
         p99_ms=percentile(latencies, 0.99) / 1e6,
         mean_ms=(sum(latencies) / len(latencies) / 1e6) if latencies else 0.0,
+        worker_latency=worker_latency,
+        spans=spans_section,
         server=after,
         delta={
             "hits": after["cache"]["hits"] - before["cache"]["hits"],

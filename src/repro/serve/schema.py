@@ -39,6 +39,13 @@ The API is deliberately tiny; every body is a single JSON object:
 Errors are always ``{"error": str, "status": int}`` with the matching
 HTTP status: 400 malformed body, 404 unknown path or unknown file,
 405 wrong method, 413 oversized body.
+
+Request tracing rides the same wire: a client that wants a request
+traced sends ``X-Repro-Trace: <trace_id>:<span_id>`` (see
+:data:`TRACE_HEADER` and :mod:`repro.obs.spans`); the daemon joins the
+trace, echoes the header on the response, and exports its spans as
+``repro.span/1`` JSONL.  A malformed header is ignored — tracing can
+never fail a request.
 """
 
 from __future__ import annotations
@@ -48,10 +55,13 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ReproError
 from ..obs.export import TS_SCHEMA
+from ..obs.spans import SPAN_SCHEMA, TRACE_HEADER
 
 __all__ = [
     "SERVE_SCHEMA",
     "SLAM_SCHEMA",
+    "SPAN_SCHEMA",
+    "TRACE_HEADER",
     "TS_SCHEMA",
     "MAX_BODY_BYTES",
     "MAX_BATCH",

@@ -49,7 +49,17 @@ just a replay harness:
   poll instead of re-downloading history.
 * **Structured access log.**  ``--access-log PATH`` appends one JSON
   line per request (request id, endpoint, method, status, latency,
-  files touched) with size-based rotation — see :class:`AccessLog`.
+  files touched, trace id) with size-based rotation — see
+  :class:`AccessLog`.
+* **Request tracing.**  With a :class:`~repro.obs.spans.SpanBuffer`
+  attached (``--spans PATH``), every request opens a server span —
+  joined to the client's trace when the request carries
+  ``X-Repro-Trace`` — with child spans for lock wait, the cache
+  operation (annotated hit/miss and group-fetch accounting), the
+  journal append, and the response write.  The trace id is echoed
+  into the access log and the response header, and the buffer is
+  exported as ``repro.span/1`` JSONL on close; ``repro spans`` merges
+  it with the slam workers' client spans.
 
 The instrumentation keeps the repository's observability stance: the
 idle daemon costs nothing (the sampler thread wakes, sees no activity,
@@ -64,11 +74,15 @@ import signal
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..obs import spans as obs_spans
+from ..obs.quantiles import percentile
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import Span, SpanBuffer
 from . import schema as wire
 from .scenario import Scenario
 
@@ -124,8 +138,6 @@ class LatencyRing:
         percentile, and a wrapped ring reports ``dropped > 0`` with
         percentiles over the window only (the mean stays lifetime-exact).
         """
-        from .client import percentile
-
         window = sorted(self.samples)
         return {
             "count": self.count,
@@ -382,8 +394,6 @@ class DaemonTelemetry:
         )
         record = sample.to_dict()
         window_latencies = sorted(self.latencies)
-        from .client import percentile
-
         record["requests"] = self.requests
         record["errors"] = self.errors
         record["requests_per_sec"] = self.requests / seconds
@@ -451,6 +461,14 @@ class CacheDaemon:
     window_seconds / window_events:
         Optional overrides of the scenario's telemetry windows (the
         CLI's ``--stats-window`` / ``--stats-window-events``).
+    spans / span_log / span_capacity / span_sample:
+        Request tracing.  Pass a ready :class:`SpanBuffer` (embedded
+        use, tests) or a ``span_log`` path (the CLI's ``--spans``) —
+        the latter builds a ``process="serve"`` buffer and writes it
+        as ``repro.span/1`` JSONL on :meth:`close`.  Requests carrying
+        ``X-Repro-Trace`` are always traced; headerless requests are
+        traced every ``span_sample``-th (default: all).  With neither
+        argument tracing is off and requests pay one ``None`` check.
     """
 
     def __init__(
@@ -462,9 +480,19 @@ class CacheDaemon:
         access_log_max_bytes: int = ACCESS_LOG_MAX_BYTES,
         window_seconds: Optional[float] = None,
         window_events: Optional[int] = None,
+        spans: Optional[SpanBuffer] = None,
+        span_log: Optional[Union[str, Path]] = None,
+        span_capacity: int = obs_spans.DEFAULT_CAPACITY,
+        span_sample: int = 1,
     ):
         self.scenario = scenario
         self.cache = scenario.build_cache()
+        if spans is None and span_log is not None:
+            spans = SpanBuffer(
+                process="serve", capacity=span_capacity, sample=span_sample
+            )
+        self.spans = spans
+        self._span_log = Path(span_log) if span_log is not None else None
         self._lock = threading.RLock()
         self._seq = 0
         self._request_ids = 0
@@ -575,6 +603,12 @@ class CacheDaemon:
         self._httpd.server_close()
         if self.access_log is not None:
             self.access_log.close()
+        if self.spans is not None and self._span_log is not None:
+            obs_spans.write_spans_jsonl(
+                self.spans,
+                self._span_log,
+                meta={"role": "server", "scenario": self.scenario.name},
+            )
 
     def __enter__(self) -> "CacheDaemon":
         return self.start()
@@ -640,6 +674,11 @@ class CacheDaemon:
             )
             if self.access_log is not None:
                 announce(f"access log: {self.access_log.path}")
+            if self._span_log is not None:
+                announce(
+                    f"request tracing on: {obs_spans.SPAN_SCHEMA} spans "
+                    f"to {self._span_log} on exit"
+                )
         try:
             while not self._stop.wait(0.2):
                 pass
@@ -696,6 +735,7 @@ class CacheDaemon:
         started = time.perf_counter_ns()
         raw_path, _, query = handler.path.partition("?")
         path = raw_path.rstrip("/") or "/"
+        root = self._open_server_span(handler, method, path)
         events = 0
         try:
             if (method, path) not in self._ROUTES:
@@ -716,21 +756,28 @@ class CacheDaemon:
                 raw = handler.rfile.read(length) if length else b""
             else:
                 raw = b""
-            status, payload = self._handle(method, path, raw, query)
+            status, payload = self._handle(method, path, raw, query, root)
         except wire.WireError as error:
             # Record before responding: once a client has seen the reply
             # it may immediately scrape /stats, and the counters must
             # already include this request (no read-your-writes gap).
-            self._record(path, method, error.status, started, 0)
+            request_id = self._record(
+                path, method, error.status, started, 0, root
+            )
             self._respond(
                 handler,
                 error.status,
                 wire.error_body(str(error), error.status),
+                trace_root=root,
             )
+            self._finish_root(root, path, error.status, request_id, 0)
             return
         except Exception as error:  # pragma: no cover - defensive 500
-            self._record(path, method, 500, started, 0)
-            self._respond(handler, 500, wire.error_body(repr(error), 500))
+            request_id = self._record(path, method, 500, started, 0, root)
+            self._respond(
+                handler, 500, wire.error_body(repr(error), 500), trace_root=root
+            )
+            self._finish_root(root, path, 500, request_id, 0)
             return
         if isinstance(payload, dict):
             events = int(payload.get("count", 0)) or (
@@ -746,13 +793,106 @@ class CacheDaemon:
             if path == "/metrics"
             else "application/json"
         )
-        self._record(path, method, status, started, events)
-        self._respond(handler, status, body, content_type)
+        request_id = self._record(path, method, status, started, events, root)
+        write_span = self._child(root, "response.write")
+        self._respond(handler, status, body, content_type, trace_root=root)
+        if write_span is not None:
+            write_span.finish()
+            write_span.annotate("bytes", len(body))
+        self._finish_root(root, path, status, request_id, events)
+
+    # -- request tracing ---------------------------------------------------
+    def _open_server_span(
+        self, handler: BaseHTTPRequestHandler, method: str, path: str
+    ) -> Optional[Span]:
+        """The per-request server span, or None when tracing is off.
+
+        A request carrying ``X-Repro-Trace`` joins the caller's trace
+        (its span id becomes the parent, so the merged tree hangs the
+        server work under the client span).  Headerless requests mint
+        a local trace, subject to the buffer's deterministic sampling
+        knob — the daemon stays fully accounted even when nobody
+        propagates ids.  Malformed headers mean "not propagated",
+        never an error.
+        """
+        buffer = self.spans
+        if buffer is None:
+            return None
+        context = obs_spans.parse_header(
+            handler.headers.get(obs_spans.TRACE_HEADER)
+        )
+        if context is not None:
+            return buffer.start_span(
+                f"{method} {path}",
+                trace=context[0],
+                parent=context[1],
+                kind="server",
+            )
+        if buffer.should_sample():
+            return buffer.start_span(f"{method} {path}", kind="server")
+        return None
+
+    def _child(self, root: Optional[Span], name: str) -> Optional[Span]:
+        """A child span under this request's server span (or nothing)."""
+        if root is None:
+            return None
+        return self.spans.start_span(
+            name, trace=root.trace, parent=root.span
+        )
+
+    @staticmethod
+    def _finish_root(
+        root: Optional[Span],
+        path: str,
+        status: int,
+        request_id: int,
+        events: int,
+    ) -> None:
+        if root is None:
+            return
+        root.finish()
+        root.annotate("endpoint", path)
+        root.annotate("status", status)
+        root.annotate("request_id", request_id)
+        root.annotate("events", events)
+
+    @contextmanager
+    def _locked(self, root: Optional[Span]):
+        """The cache lock, with the wait measured as a ``lock.wait`` span.
+
+        The untraced path is a plain acquire/release; the traced path
+        times the acquire alone, so a breakdown can separate "queued
+        behind the single-writer lock" from "doing cache work".
+        """
+        if root is None:
+            with self._lock:
+                yield
+            return
+        wait = self.spans.start_span(
+            "lock.wait", trace=root.trace, parent=root.span
+        )
+        self._lock.acquire()
+        wait.finish()
+        try:
+            yield
+        finally:
+            self._lock.release()
 
     def _record(
-        self, path: str, method: str, status: int, started_ns: int, events: int
-    ) -> None:
-        """Fold one completed request into every telemetry surface."""
+        self,
+        path: str,
+        method: str,
+        status: int,
+        started_ns: int,
+        events: int,
+        root: Optional[Span] = None,
+    ) -> int:
+        """Fold one completed request into every telemetry surface.
+
+        Returns the assigned request id — the join key shared by the
+        access-log line and the server span's ``request_id``
+        annotation.
+        """
         elapsed = time.perf_counter_ns() - started_ns
         telemetry = self.telemetry
         bucket = path if path in self._KNOWN_PATHS else "/_other"
@@ -789,8 +929,10 @@ class CacheDaemon:
                     "status": status,
                     "latency_ns": elapsed,
                     "events": events,
+                    "trace": root.trace if root is not None else None,
                 }
             )
+        return request_id
 
     def _counter_snapshot(self) -> Tuple[int, ...]:
         """Cumulative counters for telemetry windows (caller holds lock)."""
@@ -813,11 +955,21 @@ class CacheDaemon:
         status: int,
         body: bytes,
         content_type: str = "application/json",
+        trace_root: Optional[Span] = None,
     ) -> None:
         try:
             handler.send_response(status)
             handler.send_header("Content-Type", content_type)
             handler.send_header("Content-Length", str(len(body)))
+            if trace_root is not None:
+                # Echo the trace back so a caller (and its logs) can
+                # confirm which trace the server actually recorded.
+                handler.send_header(
+                    obs_spans.TRACE_HEADER,
+                    obs_spans.format_header(
+                        trace_root.trace, trace_root.span
+                    ),
+                )
             handler.end_headers()
             handler.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
@@ -825,14 +977,21 @@ class CacheDaemon:
 
     # -- endpoint handlers -------------------------------------------------
     def _handle(
-        self, method: str, path: str, raw: bytes, query: str = ""
+        self,
+        method: str,
+        path: str,
+        raw: bytes,
+        query: str = "",
+        root: Optional[Span] = None,
     ) -> Tuple[int, Any]:
         if path == "/open":
-            return 200, self._do_open(wire.parse_body(raw, "open"))
+            return 200, self._do_open(wire.parse_body(raw, "open"), root)
         if path == "/fetch":
-            return 200, self._do_fetch(wire.parse_body(raw, "fetch"))
+            return 200, self._do_fetch(wire.parse_body(raw, "fetch"), root)
         if path == "/invalidate":
-            return 200, self._do_invalidate(wire.parse_body(raw, "invalidate"))
+            return 200, self._do_invalidate(
+                wire.parse_body(raw, "invalidate"), root
+            )
         if path == "/stats":
             return 200, self.stats_payload(since=wire.parse_since(query))
         if path == "/metrics":
@@ -853,10 +1012,15 @@ class CacheDaemon:
             return 200, {"stopping": True}
         raise wire.WireError(f"unknown endpoint {path}", status=404)  # pragma: no cover
 
-    def _do_open(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _do_open(
+        self, payload: Dict[str, Any], root: Optional[Span] = None
+    ) -> Dict[str, Any]:
         file_id, _client = wire.parse_open(payload)
         cache = self.cache
-        with self._lock:
+        with self._locked(root):
+            span = self._child(root, "cache.open")
+            fetches_before = cache.fetch_log.group_fetches
+            shipped_before = cache.fetch_log.files_retrieved
             installed_before = cache.fetch_log.predicted_installed
             hit = cache.access(file_id)
             if hit:
@@ -868,40 +1032,75 @@ class CacheDaemon:
                 # re-derivation returns exactly the group access() built.
                 group = list(cache.builder.build(file_id))
                 installed = cache.fetch_log.predicted_installed - installed_before
-            if self._journal is not None:
-                self._journal.append(wire.journal_entry(file_id))
-                self._journaled += 1
+            if span is not None:
+                span.finish()
+                shipped = cache.fetch_log.files_retrieved - shipped_before
+                span.annotate("file", file_id)
+                span.annotate("hit", hit)
+                span.annotate("fetch", "none" if hit else "group")
+                span.annotate(
+                    "group_fetches",
+                    cache.fetch_log.group_fetches - fetches_before,
+                )
+                span.annotate("files_shipped", shipped)
+                # The simulation's whole-file model: one file, one unit.
+                span.annotate("bytes_shipped", shipped)
+                span.annotate("installed", installed)
+            self._journal_append(root, [file_id])
             self._seq += 1
             seq = self._seq
         return {"hit": hit, "group": group, "installed": installed, "seq": seq}
 
-    def _do_fetch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _journal_append(
+        self, root: Optional[Span], entries: List[str], invalidate: bool = False
+    ) -> None:
+        """Append journal entries under the held lock, as one child span."""
+        journal = self._journal
+        if journal is None:
+            return
+        span = self._child(root, "journal.append")
+        entry = wire.journal_entry
+        journal.extend(entry(file_id, invalidate) for file_id in entries)
+        self._journaled += len(entries)
+        if span is not None:
+            span.finish()
+            span.annotate("entries", len(entries))
+
+    def _do_fetch(
+        self, payload: Dict[str, Any], root: Optional[Span] = None
+    ) -> Dict[str, Any]:
         files, _client, detail = wire.parse_fetch(payload)
         cache = self.cache
         results: Optional[List[bool]] = [] if detail else None
         hits = 0
-        with self._lock:
+        with self._locked(root):
+            span = self._child(root, "cache.fetch")
+            if span is not None:
+                log = cache.fetch_log
+                before = (log.group_fetches, log.files_retrieved)
+                installs_before = cache.stats.installs
             access = cache.access
-            journal = self._journal
-            if journal is None:
-                for file_id in files:
-                    if access(file_id):
-                        hits += 1
-                        if results is not None:
-                            results.append(True)
-                    elif results is not None:
-                        results.append(False)
-            else:
-                entry = wire.journal_entry
-                for file_id in files:
-                    journal.append(entry(file_id))
-                    if access(file_id):
-                        hits += 1
-                        if results is not None:
-                            results.append(True)
-                    elif results is not None:
-                        results.append(False)
-                self._journaled += len(files)
+            for file_id in files:
+                if access(file_id):
+                    hits += 1
+                    if results is not None:
+                        results.append(True)
+                elif results is not None:
+                    results.append(False)
+            if span is not None:
+                span.finish()
+                log = cache.fetch_log
+                shipped = log.files_retrieved - before[1]
+                span.annotate("events", len(files))
+                span.annotate("hits", hits)
+                span.annotate("misses", len(files) - hits)
+                span.annotate("group_fetches", log.group_fetches - before[0])
+                span.annotate("files_shipped", shipped)
+                span.annotate("bytes_shipped", shipped)
+                span.annotate(
+                    "installed", cache.stats.installs - installs_before
+                )
+            self._journal_append(root, files)
             self._seq += len(files)
             seq = self._seq
         response: Dict[str, Any] = {
@@ -914,17 +1113,20 @@ class CacheDaemon:
             response["results"] = results
         return response
 
-    def _do_invalidate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _do_invalidate(
+        self, payload: Dict[str, Any], root: Optional[Span] = None
+    ) -> Dict[str, Any]:
         file_id = wire.parse_invalidate(payload)
-        with self._lock:
+        with self._locked(root):
+            span = self._child(root, "cache.invalidate")
             dropped = self.cache.invalidate(file_id)
+            if span is not None:
+                span.finish()
+                span.annotate("file", file_id)
+                span.annotate("dropped", dropped)
             if dropped:
                 self._invalidations += 1
-                if self._journal is not None:
-                    self._journal.append(
-                        wire.journal_entry(file_id, invalidate=True)
-                    )
-                    self._journaled += 1
+                self._journal_append(root, [file_id], invalidate=True)
             else:
                 self._invalidation_misses += 1
         if not dropped:
@@ -990,6 +1192,8 @@ class CacheDaemon:
             }
             if self.access_log is not None:
                 payload["access_log"] = self.access_log.summary()
+            if self.spans is not None:
+                payload["spans"] = self.spans.summary()
         return payload
 
     def prometheus_text(self, prefix: str = "repro_serve") -> str:

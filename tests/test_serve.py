@@ -154,8 +154,14 @@ class TestPercentile:
         assert percentile(list(range(101)), 0.95) == 95.0
 
     def test_out_of_range_q(self):
-        with pytest.raises(SlamError):
+        with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+
+    def test_shared_with_obs(self):
+        # One implementation: repro.serve re-exports obs.quantiles.
+        from repro.obs.quantiles import percentile as obs_percentile
+
+        assert percentile is obs_percentile
 
 
 # -- sharding ----------------------------------------------------------------
@@ -413,11 +419,11 @@ class TestSlam:
             real_once = conn._once
             calls = {"n": 0}
 
-            def flaky(method, path, body):
+            def flaky(method, path, body, headers=None):
                 calls["n"] += 1
                 if calls["n"] == 1:
                     raise ConnectionResetError("peer reset")
-                return real_once(method, path, body)
+                return real_once(method, path, body, headers)
 
             monkeypatch.setattr(conn, "_once", flaky)
             body = conn.fetch(["f1"])
@@ -430,7 +436,7 @@ class TestSlam:
         with CacheDaemon(tiny_scenario()) as daemon:
             conn = ServeConnection(daemon.url)
 
-            def always_reset(method, path, body):
+            def always_reset(method, path, body, headers=None):
                 raise ConnectionResetError("peer reset")
 
             monkeypatch.setattr(conn, "_once", always_reset)
